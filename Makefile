@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain pip + pytest underneath.
+
+.PHONY: install test bench bench-large examples lint-clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-large:
+	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py 400
+	python examples/early_adopter_comparison.py 300
+	python examples/secure_routing_attacks.py
+	python examples/buyers_remorse_and_oscillation.py
+	python examples/custom_topology.py
+	python examples/partial_deployment_security.py 250
+	python examples/model_sensitivity.py 250

@@ -1,0 +1,53 @@
+"""Ablation (§8.4): pricing policies between traffic and revenue.
+
+The paper prices revenue linearly in transited traffic and calls the
+mapping out as an extension.  The bench compares linear, tiered
+(flat-rate capacity units of growing size) and concave (volume
+discount) pricing.  Expected shape: coarser tiers hide the small
+traffic gains that motivate marginal adopters, so adoption declines
+monotonically with tier size; concave pricing sits between.
+"""
+
+from __future__ import annotations
+
+from repro.core.adopters import cps_plus_top_isps
+from repro.core.config import SimulationConfig
+from repro.core.dynamics import run_deployment
+from repro.core.pricing import Pricing, PricingModel
+from repro.experiments.report import format_table
+
+THETA = 0.05
+
+
+def test_ablation_pricing(benchmark, env, capsys):
+    def run_all():
+        graph = env.graph
+        adopters = cps_plus_top_isps(graph, 5)
+        schemes = {
+            "linear": Pricing(model=PricingModel.LINEAR),
+            "tiered (tier=20)": Pricing(model=PricingModel.TIERED, tier=20.0),
+            "tiered (tier=200)": Pricing(model=PricingModel.TIERED, tier=200.0),
+            "concave (a=0.7)": Pricing(model=PricingModel.CONCAVE, alpha=0.7),
+        }
+        rows = []
+        for name, pricing in schemes.items():
+            result = run_deployment(
+                graph, adopters, SimulationConfig(theta=THETA),
+                env.cache, pricing=pricing,
+            )
+            rows.append((name, float(result.final_node_secure.mean()),
+                         result.num_rounds))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["pricing", "frac secure", "rounds"],
+            [[n, f"{s:.3f}", r] for n, s, r in rows],
+            title=f"Ablation: pricing model (theta={THETA:.0%})",
+        ))
+
+    by = {name: secure for name, secure, _ in rows}
+    assert by["tiered (tier=200)"] <= by["tiered (tier=20)"] + 1e-9
+    assert by["tiered (tier=200)"] <= by["linear"] + 1e-9

@@ -1,0 +1,57 @@
+"""Extension (§8.4): deployment on an evolving AS graph.
+
+The paper suggests modelling "the addition of new edges if secure ASes
+manage to sign up new customers".  The bench interleaves deployment
+epochs with topology growth, comparing neutral growth against growth
+where new stubs insist on a secure provider.  Expected shape: secure
+attraction keeps the secure fraction at least as high as neutral
+growth as the graph expands.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig
+from repro.experiments.report import format_table
+from repro.topology.evolution import EvolutionConfig, EvolvingDeployment
+from repro.topology.generator import generate_topology
+
+EPOCHS = 3
+
+
+def test_evolution_secure_attraction(benchmark, capsys):
+    def run_both():
+        out = {}
+        for attraction in (0.0, 1.0):
+            base = generate_topology(n=250, seed=77)
+            driver = EvolvingDeployment(
+                base.graph,
+                early_adopter_asns=base.tier1_asns[:4],
+                evolution=EvolutionConfig(
+                    new_stubs=15, new_peerings=4, rehomed_stubs=3,
+                    secure_attraction=attraction,
+                ),
+                simulation_config=SimulationConfig(theta=0.10, max_rounds=30),
+                seed=5,
+            )
+            out[attraction] = driver.run(EPOCHS)
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for attraction, records in results.items():
+        for r in records:
+            rows.append([
+                f"{attraction:.0f}", r.epoch, r.num_ases,
+                r.num_secure_ases, f"{r.fraction_secure:.3f}",
+            ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["secure attraction", "epoch", "ASes", "secure", "fraction"],
+            rows, title="Evolution: growth with/without secure-provider pull",
+        ))
+
+    neutral = results[0.0][-1]
+    attracted = results[1.0][-1]
+    assert attracted.num_ases == neutral.num_ases
+    assert attracted.fraction_secure >= neutral.fraction_secure - 0.05

@@ -1,0 +1,29 @@
+"""Figure 3: ASes and ISPs deploying S*BGP per round (§5.2).
+
+Paper (36K ASes, theta=5%, CPs+top-5 Tier-1s): ~5K ASes secure after
+round 1 (548 ISPs plus their simplex stubs), hundreds of ISPs per round
+afterwards, tapering to stability with 85% of ASes secure.  Shape: a
+large first-round surge dominated by simplex stubs, decaying adoption,
+majority secure at termination.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+from repro.experiments.report import format_series
+
+
+def test_fig03_adoption_per_round(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print("Fig 3: deployment per round (case study, theta=5%)")
+        print("  " + format_series("newly secure ASes", report.fig3_new_ases, "{:d}"))
+        print("  " + format_series("adopting ISPs    ", report.fig3_new_isps, "{:d}"))
+        print(f"  final: {report.fraction_secure_ases:.1%} of ASes secure "
+              f"after {report.result.num_rounds} rounds "
+              f"(paper: 85% after ~28 rounds at 36K scale)")
+    assert report.fig3_new_ases[0] >= report.fig3_new_isps[0]
+    assert report.fraction_secure_ases > 0.5

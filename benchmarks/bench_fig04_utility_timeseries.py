@@ -1,0 +1,28 @@
+"""Figure 4: normalised utility of focal ISPs over the rounds (§5.5).
+
+Paper: AS 8359 loses 3% of its starting utility, deploys, spikes to
+125%, and settles back near 100%; the never-deploying AS 8342 ends 4%
+down.  Shape: stealer spikes then reverts; holdout ends below start.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+from repro.experiments.report import format_series
+
+
+def test_fig04_focal_utilities(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print("Fig 4: focal ISP utilities, normalised by starting utility")
+        for label, series in report.fig4_utilities.items():
+            print("  " + format_series(label, series, "{:.3f}"))
+    assert report.fig4_utilities
+    for label, series in report.fig4_utilities.items():
+        if label.startswith("stealer"):
+            assert max(series) > 1.0
+        if label.startswith("holdout"):
+            assert series[-1] < 1.0

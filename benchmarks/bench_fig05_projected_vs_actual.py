@@ -1,0 +1,35 @@
+"""Figure 5: median utility and projected utility of next-round
+adopters, normalised by starting utility (§5.5).
+
+Paper: early rounds' adopters project >= 105% of start (stealing);
+later adopters have dropped below start and deploy to recover (their
+projections approach 100%).  Shape: projected >= actual-at-decision,
+and the recover-not-steal transition as rounds progress.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import case_study_report
+from repro.experiments.report import format_series
+
+
+def test_fig05_median_projections(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    med_u = report.fig5_median_utility
+    med_p = report.fig5_median_projected
+    with capsys.disabled():
+        print()
+        print("Fig 5: per-round medians over next-round adopters")
+        print("  " + format_series("median utility  ", med_u, "{:.3f}"))
+        print("  " + format_series("median projected", med_p, "{:.3f}"))
+    pairs = [
+        (u, p) for u, p in zip(med_u, med_p)
+        if not (math.isnan(u) or math.isnan(p))
+    ]
+    assert pairs
+    # adopters project strictly above their current utility (rule 3)
+    assert all(p > u for u, p in pairs)

@@ -1,0 +1,26 @@
+"""Figure 6: cumulative ISP adoption by degree bucket (§5.3).
+
+Paper: low-degree ISPs (<=10) are the least likely to deploy — about a
+thousand ISPs with average degree 6 never face competition and stay
+insecure.  Shape: final adoption fraction increases with degree bucket.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+from repro.experiments.report import format_series
+
+
+def test_fig06_adoption_by_degree(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    buckets = report.fig6_adoption_by_bucket
+    with capsys.disabled():
+        print()
+        print("Fig 6: cumulative fraction of ISPs secure, by total degree")
+        for label, series in buckets.items():
+            print("  " + format_series(label, series, "{:.2f}"))
+    finals = [series[-1] for series in buckets.values()]
+    # the highest-degree bucket adopts at least as much as the lowest
+    assert finals[-1] >= finals[0]

@@ -1,0 +1,27 @@
+"""Figure 7: longer secure paths sustain deployment (§5.4).
+
+Paper: AS 8359's round-4 deployment lets its neighbor AS 6371 compete
+in round 5, which in turn enables AS 41209 in round 7 — adoption chains
+radiating outward from the early adopters.  Shape: adopters in round
+k >= 2 that are graph neighbors of round-(k-1) adopters exist in
+numbers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+
+
+def test_fig07_chain_reactions(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    chains = report.fig7_chains
+    g = env.graph
+    with capsys.disabled():
+        print()
+        print(f"Fig 7: {len(chains)} neighbor-enabled adoptions found")
+        for enabler, adopter, round_index in chains[:5]:
+            print(f"  round {round_index}: AS {g.asn(adopter)} deploys after "
+                  f"neighbor AS {g.asn(enabler)} deployed in round {round_index - 1}")
+    assert chains, "no chain reactions: deployment did not propagate"

@@ -1,0 +1,46 @@
+"""Figure 8: fraction of ASes (a) and ISPs (b) secure vs theta, per
+early-adopter set (§6.3, §6.5).
+
+Paper shapes to reproduce:
+
+- theta <= 5%: ~85% of ASes secure for almost any adopter set;
+- theta >= 10%: high-degree adopter sets clearly beat random/none;
+- theta >= 30%: ISP adoption collapses (Fig 8b) and what security
+  remains is mostly simplex stubs;
+- some ISPs never deploy at any theta (~20% of ISPs in the paper).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import sweep_cells
+from repro.experiments.report import format_table
+
+
+def test_fig08_theta_sweep(benchmark, env, capsys):
+    cells = benchmark.pedantic(lambda: sweep_cells(env), rounds=1, iterations=1)
+
+    rows = [
+        [c.adopters, f"{c.theta:.2f}", f"{c.fraction_secure_ases:.3f}",
+         f"{c.fraction_secure_isps:.3f}", f"{c.fraction_isps_by_market:.3f}",
+         c.num_rounds]
+        for c in cells
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["adopters", "theta", "frac ASes (8a)", "frac ISPs (8b)",
+             "ISPs by market", "rounds"],
+            rows, title="Fig 8: adoption vs theta and early-adopter set",
+        ))
+
+    by = {(c.adopters, c.theta): c for c in cells}
+    low = [c for c in cells if c.theta <= 0.05 and c.adopters != "none"]
+    assert max(c.fraction_secure_ases for c in low) > 0.5
+    # adoption is non-increasing in theta for each adopter set
+    for name in {c.adopters for c in cells}:
+        series = [c.fraction_secure_ases for c in cells if c.adopters == name]
+        assert series[0] >= series[-1] - 1e-9
+    # ISP (8b) adoption collapses harder than AS (8a) adoption at high theta
+    for c in cells:
+        if c.theta >= 0.30:
+            assert c.fraction_isps_by_market <= c.fraction_secure_ases + 1e-9

@@ -1,0 +1,34 @@
+"""Figure 9: fraction of secure source-destination paths (§6.4).
+
+Paper: the secure-path fraction tracks f^2 (f = secure-AS fraction),
+sitting only ~4% below it because both endpoints must be secure and
+most secure paths are short.  Shape: measured <= f^2, within tens of
+percent of it whenever adoption is substantial.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import sweep_cells
+from repro.experiments.report import format_table
+
+
+def test_fig09_secure_path_fraction(benchmark, env, capsys):
+    cells = benchmark.pedantic(lambda: sweep_cells(env), rounds=1, iterations=1)
+
+    rows = [
+        [c.adopters, f"{c.theta:.2f}", f"{c.fraction_secure_paths:.3f}",
+         f"{c.f_squared:.3f}",
+         f"{(c.f_squared - c.fraction_secure_paths):.3f}"]
+        for c in cells
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["adopters", "theta", "secure paths", "f^2", "gap"],
+            rows, title="Fig 9: secure paths vs the f^2 reference",
+        ))
+
+    for c in cells:
+        assert c.fraction_secure_paths <= c.f_squared + 1e-9
+        if c.fraction_secure_ases > 0.6:
+            assert c.fraction_secure_paths >= 0.6 * c.f_squared

@@ -1,0 +1,39 @@
+"""Figure 11: stubs need not break ties on security (§6.7).
+
+Paper: adoption outcomes are nearly identical whether simplex stubs
+apply SecP or ignore security entirely, because stubs have tiny
+tiebreak sets and transit no traffic.  Shape: the two curves coincide
+to within a few percent.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.sweeps import stub_tiebreak_comparison
+
+
+def test_fig11_stub_tiebreak_insensitivity(benchmark, env, capsys):
+    sets = {"cps+top-5": env.adopter_sets()["cps+top-5"]}
+
+    comparison = benchmark.pedantic(
+        lambda: stub_tiebreak_comparison(env, thetas=(0.05, 0.30), adopter_sets=sets),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for theta_idx, theta in enumerate((0.05, 0.30)):
+        with_stub = comparison[True][theta_idx]
+        without = comparison[False][theta_idx]
+        rows.append([
+            f"{theta:.2f}",
+            f"{with_stub.fraction_secure_ases:.3f}",
+            f"{without.fraction_secure_ases:.3f}",
+            f"{abs(with_stub.fraction_secure_ases - without.fraction_secure_ases):.3f}",
+        ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["theta", "stubs break ties", "stubs ignore security", "|diff|"],
+            rows, title="Fig 11: sensitivity to stub tie-breaking",
+        ))
+    for row in rows:
+        assert float(row[3]) < 0.15

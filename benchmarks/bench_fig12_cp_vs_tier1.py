@@ -1,0 +1,76 @@
+"""Figure 12: content providers vs Tier-1s as early adopters (§6.8).
+
+Paper shapes to reproduce:
+
+(a) at x = 10% the top-5 Tier-1s out-recruit the 5 CPs (they transit
+    2-9x more traffic); as x grows toward 50% the CPs catch up and win
+    at low theta;
+(b) on the augmented graph (CPs peered widely at IXPs) the CPs'
+    influence improves relative to the original graph.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cp_vs_tier1 import run_cp_vs_tier1
+from repro.experiments.report import format_table
+
+THETAS = (0.0, 0.05, 0.30)
+X_VALUES = (0.10, 0.50)
+
+
+def _rows(cells):
+    return [
+        [f"{c.x:.2f}", c.adopters, f"{c.theta:.2f}",
+         f"{c.fraction_secure_ases:.3f}", f"{c.fraction_secure_isps:.3f}"]
+        for c in cells
+    ]
+
+
+def test_fig12a_traffic_volume_sweep(benchmark, env, capsys):
+    cells = benchmark.pedantic(
+        lambda: run_cp_vs_tier1(env, thetas=THETAS, x_values=X_VALUES),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["x", "adopters", "theta", "frac ASes", "frac ISPs"],
+            _rows(cells), title="Fig 12a: CPs vs Tier-1s across traffic volumes",
+        ))
+
+    def frac(x, who, theta):
+        return next(
+            c.fraction_secure_ases
+            for c in cells if c.x == x and c.adopters == who and c.theta == theta
+        )
+
+    # CPs gain influence as their traffic share grows
+    assert frac(0.50, "5-cps", 0.05) >= frac(0.10, "5-cps", 0.05) - 1e-9
+
+
+def test_fig12b_augmented_graph(benchmark, env, env_augmented, capsys):
+    def run_both():
+        return {
+            False: run_cp_vs_tier1(env, thetas=(0.05,), x_values=(0.10,)),
+            True: run_cp_vs_tier1(env_augmented, thetas=(0.05,), x_values=(0.10,)),
+        }
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for augmented, cells in out.items():
+        for c in cells:
+            rows.append([
+                "augmented" if augmented else "original", c.adopters,
+                f"{c.fraction_secure_ases:.3f}",
+            ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["graph", "adopters", "frac ASes"],
+            rows, title="Fig 12b: original vs augmented graph (theta=5%, x=10%)",
+        ))
+
+    cp_orig = next(c for c in out[False] if c.adopters == "5-cps")
+    cp_aug = next(c for c in out[True] if c.adopters == "5-cps")
+    # CP influence must not degrade when their connectivity improves
+    assert cp_aug.fraction_secure_ases >= cp_orig.fraction_secure_ases - 0.1

@@ -1,0 +1,46 @@
+"""Figure 13: buyer's remorse — an ISP gains by disabling S*BGP (§7.1).
+
+Paper: with Akamai at w_CP = 821, AS 4755 turning S*BGP off moves the
+CP's traffic to its 24 stubs from a provider edge onto a customer edge,
+raising incoming utility by 205% per stub destination (+0.5% total on
+the full graph; here the gadget is the whole world so the total is
+large).  Shape: projected-off utility strictly exceeds the current one,
+scaling with the stub count.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import UtilityModel
+from repro.core.engine import compute_round_data
+from repro.core.projection import project_flip
+from repro.core.state import DeploymentState, StateDeriver
+from repro.gadgets.buyers_remorse import build_buyers_remorse
+from repro.routing.cache import RoutingCache
+
+
+def test_fig13_turn_off_incentive(benchmark, capsys):
+    def evaluate():
+        net = build_buyers_remorse(num_stubs=24, cp_weight=821.0)
+        g = net.graph
+        cache = RoutingCache(g)
+        deriver = StateDeriver(g, stub_breaks_ties=False, compiled=cache.compiled)
+        ea = frozenset([g.index(net.cp), g.index(net.upstream)])
+        state = DeploymentState.initial(ea).with_flips(turn_on=[g.index(net.focal)])
+        rd = compute_round_data(cache, deriver, state, UtilityModel.INCOMING)
+        focal = g.index(net.focal)
+        proj = project_flip(
+            cache, deriver, rd, focal, turning_on=False, model=UtilityModel.INCOMING
+        )
+        return net, float(rd.utilities[focal]), proj.utility
+
+    net, on_utility, off_utility = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    gain = off_utility - on_utility
+    with capsys.disabled():
+        print()
+        print("Fig 13: AS-4755 buyer's remorse (incoming utility)")
+        print(f"  utility running S*BGP : {on_utility:10.0f}")
+        print(f"  utility after turn-off: {off_utility:10.0f}")
+        print(f"  gain: +{gain:.0f} over {len(net.stubs)} stub destinations "
+              f"(~{gain / len(net.stubs):.0f} per stub; paper: +205% per stub)")
+    assert off_utility > on_utility
+    assert gain / len(net.stubs) > 500  # most of w_CP = 821 moves per stub

@@ -1,0 +1,35 @@
+"""Figure 15 (Appendix B): the partially-secure-path attack.
+
+Paper: if ASes preferred partially-secure paths over insecure ones, an
+attacker could dress a false path with one genuine signature and beat a
+true route — an attack that does not exist without S*BGP.  Shape: the
+attacker wins iff the victim uses the rejected ranking.
+"""
+
+from __future__ import annotations
+
+from repro.gadgets.attack_network import build_attack_network
+from repro.protocol.attacks import evaluate_attack
+
+
+def test_fig15_partial_security_attack(benchmark, capsys):
+    def run_both():
+        network = build_attack_network()
+        outcomes = {}
+        for prefers in (False, True):
+            net = network.build_protocol_network(p_prefers_partial=prefers)
+            outcomes[prefers] = evaluate_attack(
+                net, victim=network.p, attacker=network.m, prefix=network.prefix
+            )
+        return network, outcomes
+
+    network, outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Fig 15: partially-secure path attack (victim p, attacker m)")
+        for prefers, out in outcomes.items():
+            ranking = "partial-preferred" if prefers else "paper's rule"
+            verdict = "ATTACKER WINS" if out.attacker_on_path else "resists"
+            print(f"  {ranking:18s}: path {out.chosen_path} -> {verdict}")
+    assert not outcomes[False].attacker_on_path
+    assert outcomes[True].attacker_on_path

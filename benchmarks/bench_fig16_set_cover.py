@@ -1,0 +1,59 @@
+"""Figure 16 (Appendix E): the set-cover reduction behind Theorem 6.1.
+
+Choosing optimal early adopters is NP-hard: on the reduction network,
+the number of ASes secure at termination is exactly ``1 + 2k + covered
+elements``, so optimal adoption = optimal cover.  The bench regenerates
+that correspondence and contrasts greedy with brute-force.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.experiments.report import format_table
+from repro.gadgets.hardness import SetCoverInstance, build_set_cover_network
+from repro.routing.cache import RoutingCache
+
+INSTANCE = SetCoverInstance(
+    universe=(1, 2, 3, 4, 5, 6, 7, 8),
+    subsets=(
+        frozenset({1, 2, 3}),
+        frozenset({4, 5}),
+        frozenset({6, 7}),
+        frozenset({3, 8}),
+        frozenset({8}),
+    ),
+    k=3,
+)
+
+
+def test_fig16_set_cover_reduction(benchmark, capsys):
+    def evaluate():
+        net = build_set_cover_network(INSTANCE)
+        cache = RoutingCache(net.graph)
+        results = []
+        for combo in itertools.combinations(range(len(INSTANCE.subsets)), INSTANCE.k):
+            secure = net.secure_count_for(combo, cache)
+            results.append((combo, secure, net.expected_secure_count(combo)))
+        return net, results
+
+    net, results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [
+        [str(combo), secure, expected, INSTANCE.coverage(combo)]
+        for combo, secure, expected in results
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["gates chosen", "secure ASes", "1+2k+covered", "covered"],
+            rows, title="Fig 16: adoption count == set-cover arithmetic",
+        ))
+        greedy = INSTANCE.greedy_cover()
+        best = INSTANCE.best_cover()
+        print(f"  greedy cover: {greedy}, optimal cover: {best}")
+
+    assert INSTANCE.is_linear()
+    for combo, secure, expected in results:
+        assert secure == expected
+    best_combo = max(results, key=lambda r: r[1])[0]
+    assert INSTANCE.coverage(best_combo) == INSTANCE.best_cover()[1]

@@ -1,0 +1,39 @@
+"""Figure 17 (Appendix F/K): deployment oscillation under incoming
+utility.
+
+Paper: groups of ISPs can cycle S*BGP on and off forever (Theorem 7.1:
+deciding termination is PSPACE-complete).  The chicken gadget's
+bi-matrix makes both strategic nodes enter together and leave together
+under simultaneous best response.  Shape: the simulation detects a
+state cycle, never a stable state.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation, Outcome
+from repro.gadgets.oscillator import build_chicken
+
+
+def test_fig17_oscillation(benchmark, capsys):
+    def run():
+        net = build_chicken()
+        cfg = SimulationConfig(
+            theta=0.0, utility_model=UtilityModel.INCOMING, max_rounds=30
+        )
+        sim = DeploymentSimulation(
+            net.graph, net.fixed_on, cfg, player_asns=list(net.players)
+        )
+        return net, sim.run()
+
+    net, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    g = net.graph
+    with capsys.disabled():
+        print()
+        print("Fig 17: oscillator (incoming utility, theta=0)")
+        for record in result.rounds:
+            on = sorted(g.asn(i) for i in record.turned_on)
+            off = sorted(g.asn(i) for i in record.turned_off)
+            print(f"  round {record.index}: ON {on or '-'} OFF {off or '-'}")
+        print(f"  outcome: {result.outcome.value} (paper: no stable state exists)")
+    assert result.outcome is Outcome.OSCILLATION

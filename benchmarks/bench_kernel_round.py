@@ -1,0 +1,37 @@
+"""Kernel benchmark: one full map-reduce round over all destinations.
+
+The paper's equivalent ("one round typically completed in 10-35
+minutes" on a 200-node cluster at 36K ASes) is the unit of simulation
+cost; everything else is projections on top of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import UtilityModel
+from repro.core.engine import compute_round_data
+from repro.core.state import DeploymentState, StateDeriver
+
+
+@pytest.fixture(scope="module")
+def round_inputs(env):
+    deriver = StateDeriver(env.graph, compiled=env.cache.compiled)
+    adopters = frozenset(env.graph.index(a) for a in env.case_study_adopters())
+    return deriver, DeploymentState.initial(adopters)
+
+
+def test_kernel_round_outgoing(benchmark, env, round_inputs):
+    deriver, state = round_inputs
+    rd = benchmark(
+        lambda: compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    )
+    assert rd.utilities.sum() > 0
+
+
+def test_kernel_round_incoming(benchmark, env, round_inputs):
+    deriver, state = round_inputs
+    rd = benchmark(
+        lambda: compute_round_data(env.cache, deriver, state, UtilityModel.INCOMING)
+    )
+    assert rd.utilities.sum() > 0

@@ -1,0 +1,57 @@
+"""§8.3 / Theorem J.1: per-link deployment is a real (hard) choice.
+
+The DILEMMA gadget gives a focal ISP one contested link: active, it
+carries flow B's customer revenue; disabled, it triggers the Fig-13
+remorse fallback and flow A pays instead.  Brute force over link
+subsets shows the optimum flips with the flow weights — the interaction
+that makes the general problem NP-hard — while under outgoing utility
+full deployment is optimal (Theorem J.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import UtilityModel
+from repro.core.perlink import best_link_deployment, utility_with_links
+from repro.core.state import DeploymentState, StateDeriver
+from repro.experiments.report import format_table
+from repro.gadgets.dilemma import build_dilemma
+
+
+def _evaluate(w_a: float, w_b: float):
+    net = build_dilemma(w_a=w_a, w_b=w_b)
+    g = net.graph
+    deriver = StateDeriver(g, stub_breaks_ties=True)
+    state = DeploymentState.initial(frozenset(g.index(a) for a in net.secure_asns))
+    sec = deriver.node_secure(state)
+    brk = deriver.breaks_ties(sec)
+    x, up = g.index(net.x), g.index(net.up)
+    u_on = utility_with_links(g, sec, brk, x, None, UtilityModel.INCOMING)
+    u_off = utility_with_links(g, sec, brk, x, {x: {up}}, UtilityModel.INCOMING)
+    best = best_link_deployment(g, sec, brk, x, UtilityModel.INCOMING)
+    return net, u_on, u_off, (g.index(net.up) in best.disabled)
+
+
+def test_perlink_dilemma(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: [_evaluate(100.0, 60.0), _evaluate(60.0, 400.0)],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for net, u_on, u_off, disables_up in results:
+        rows.append([
+            f"w_a={net.w_a:.0f} w_b={net.w_b:.0f}",
+            f"{u_on:.0f}", f"{u_off:.0f}",
+            "disable it" if disables_up else "keep it",
+        ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["weights", "link on", "link off", "optimal for the x-up link"],
+            rows, title="Per-link dilemma: one link, two flows, opposite pulls",
+        ))
+        print("  outgoing utility: Theorem J.2 says secure everything "
+              "(asserted in tests/core/test_perlink.py)")
+
+    (_, on1, off1, d1), (_, on2, off2, d2) = results
+    assert off1 > on1 and d1        # remorse-heavy weights: turn it off
+    assert on2 > off2 and not d2    # flow-B-heavy weights: keep it on

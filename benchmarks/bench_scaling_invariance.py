@@ -1,0 +1,45 @@
+"""Validation of the scale substitution (DESIGN.md §2).
+
+The reproduction replaces the 36,964-AS empirical graph with synthetic
+topologies at laptop scale.  This bench runs the case study across
+sizes and prints the statistics the paper's argument rests on; if the
+shapes drifted with N, the substitution claim would be false.
+
+Expected: stub fraction ~0.85, mean tiebreak ~1.2-1.4, the §6.7 number
+in the low single-percent range, and majority adoption at theta = 5%,
+at *every* size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.scaling import run_scaling_study
+
+SIZES = (250, 500, 1000)
+
+
+def test_scaling_invariance(benchmark, capsys):
+    points = benchmark.pedantic(
+        lambda: run_scaling_study(sizes=SIZES, theta=0.05),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [p.n, f"{p.stub_fraction:.3f}", f"{p.mean_tiebreak:.2f}",
+         f"{p.multi_path_fraction:.2f}", f"{p.security_sensitive_fraction:.3f}",
+         f"{p.fraction_secure_ases:.3f}", p.num_rounds]
+        for p in points
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["N", "stub frac", "mean tiebreak", "multi-path",
+             "sec-sensitive (6.7)", "frac secure", "rounds"],
+            rows,
+            title="Scale invariance (paper at 36,964: 0.85 / 1.18 / 0.20 / 0.035 / 0.85)",
+        ))
+
+    for p in points:
+        assert abs(p.stub_fraction - 0.85) < 0.05
+        assert 1.0 < p.mean_tiebreak < 1.8
+        assert 0.0 < p.security_sensitive_fraction < 0.12
+        assert p.fraction_secure_ases > 0.5

@@ -1,0 +1,30 @@
+"""§5.6: the deployment game is zero-sum over a fixed traffic pool.
+
+Paper: at termination only 8% of ISPs sit more than theta above their
+starting utility; insecure holdouts lose on average 13% of it; it is
+better to deploy than to hold out.  Shapes: few big winners, holdouts
+strictly below deployers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+
+
+def test_sec56_zero_sum_analysis(benchmark, env, capsys):
+    report = benchmark.pedantic(
+        lambda: case_study_report(env), rounds=1, iterations=1
+    )
+    zs = report.zero_sum
+    with capsys.disabled():
+        print()
+        print("Sec 5.6: zero-sum outcomes (final vs starting utility)")
+        print(f"  ISPs ending > (1+theta) x start: "
+              f"{zs.fraction_isps_above_threshold:.1%} (paper: 8%)")
+        print(f"  secure ISPs mean final/start  : "
+              f"{zs.mean_final_over_start_secure:.3f}")
+        print(f"  insecure ISPs mean final/start: "
+              f"{zs.mean_final_over_start_insecure:.3f} (paper: 0.87)")
+    assert zs.fraction_isps_above_threshold < 0.5
+    assert zs.mean_final_over_start_insecure <= 1.0
+    assert zs.mean_final_over_start_secure >= zs.mean_final_over_start_insecure

@@ -1,0 +1,48 @@
+"""§7.3: how common are incentives to disable S*BGP?
+
+Paper: whole-network turn-off incentives exist (Fig. 13) but are rare;
+at least 10% of the 5,992 ISPs can find a state where disabling S*BGP
+for *one destination* pays.  Here the state searched is the
+wide-deployment outcome of the outgoing game (the paper likewise scans
+deployed states of its empirical graph), and gains are evaluated under
+the incoming utility model.  Shapes: per-destination incentives touch a
+sizeable minority of ISPs; whole-network ones are (near) absent.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation
+from repro.experiments.turnoff import (
+    per_destination_turn_off_census,
+    whole_network_turn_off_census,
+)
+
+
+def test_sec73_turn_off_census(benchmark, env, capsys):
+    def run():
+        config = SimulationConfig(theta=0.05, utility_model=UtilityModel.OUTGOING)
+        sim = DeploymentSimulation(
+            env.graph, env.case_study_adopters(), config, env.cache
+        )
+        state = sim.run().final_state
+        whole = whole_network_turn_off_census(env, state, stub_breaks_ties=True)
+        per_dest = per_destination_turn_off_census(env, state, stub_breaks_ties=True)
+        return whole, per_dest
+
+    whole, per_dest = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Sec 7.3: turn-off incentive census (incoming utility, deployed state)")
+        print(f"  secure ISPs examined          : {per_dest.num_secure_isps}")
+        print(f"  whole-network incentive       : {whole.num_with_incentive} "
+              f"({whole.fraction:.1%}; paper: rare)")
+        print(f"  >=1 per-destination incentive : {per_dest.num_with_incentive} "
+              f"({per_dest.fraction:.1%}; paper: >=10% of ISPs)")
+        if per_dest.examples:
+            print(f"  examples: {list(per_dest.examples)[:5]}")
+    assert per_dest.num_with_incentive >= whole.num_with_incentive
+    assert per_dest.num_secure_isps > 0
+    assert per_dest.num_with_incentive > 0, (
+        "no per-destination turn-off incentives found at all"
+    )

@@ -1,0 +1,71 @@
+"""§1.4(5)/§2.2.1: attack impact as deployment progresses.
+
+Paper claims to reproduce:
+
+- status quo: "an arbitrary misbehaving AS can impact about half of
+  the ASes in the Internet (around 15K) on average";
+- proposed end state (full ISPs + simplex stubs, with validation
+  filtering): the only vector left is an ISP lying to its own stubs,
+  and 80% of ISPs have < 7 stub customers — impact collapses;
+- in between, security-as-tie-break reduces but does not eliminate
+  hijacks, which is why §1.4(5) says partial deployment needs care.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+from repro.core.state import DeploymentState, StateDeriver
+from repro.experiments.report import format_table
+from repro.security.metrics import end_state_everyone_secure, impact_for_state
+
+SAMPLES = 12
+
+
+def test_security_vs_deployment_level(benchmark, env, capsys):
+    def measure():
+        deriver = StateDeriver(env.graph, stub_breaks_ties=True,
+                               compiled=env.cache.compiled)
+        report = case_study_report(env)
+        rows = []
+
+        empty = DeploymentState(frozenset(), frozenset())
+        imp = impact_for_state(env.graph, deriver, empty, samples=SAMPLES, seed=4)
+        rows.append(("insecure internet", 0.0, imp.mean_fraction_fooled))
+
+        mid_round = max(1, report.result.num_rounds // 2)
+        mid_state = report.result.rounds[mid_round - 1].state
+        mid_secure = deriver.node_secure(mid_state).mean()
+        imp = impact_for_state(env.graph, deriver, mid_state, samples=SAMPLES, seed=4)
+        rows.append((f"mid-deployment (round {mid_round})", float(mid_secure),
+                     imp.mean_fraction_fooled))
+
+        final_state = report.result.final_state
+        final_secure = deriver.node_secure(final_state).mean()
+        imp = impact_for_state(env.graph, deriver, final_state, samples=SAMPLES, seed=4)
+        rows.append(("case-study final", float(final_secure),
+                     imp.mean_fraction_fooled))
+
+        end = end_state_everyone_secure(env.graph)
+        imp = impact_for_state(
+            env.graph, deriver, end, samples=SAMPLES, seed=4, drop_unvalidated=True
+        )
+        rows.append(("end state + validation filtering", 1.0,
+                     imp.mean_fraction_fooled))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["state", "secure ASes", "mean fraction fooled"],
+            [[name, f"{sec:.2f}", f"{fooled:.3f}"] for name, sec, fooled in rows],
+            title="Attack impact vs deployment (random origin hijacks)",
+        ))
+        print("  paper: ~50% fooled today; end state leaves only each "
+              "attacker's own stub cone")
+
+    insecure = rows[0][2]
+    end_state = rows[-1][2]
+    assert insecure > 0.25            # "about half" at paper scale
+    assert end_state < 0.05           # own-stubs-only residual
+    assert end_state < insecure

@@ -1,0 +1,35 @@
+"""Table 2 (Appendix D): AS-graph composition, original vs augmented.
+
+Paper: Cyclops+IXP has 36,964 ASes, 72,848 customer-provider edges and
+38,829 peerings; the augmented graph doubles the peerings (77,380) by
+adding CP edges.  Shapes: ~85% stubs, cust-prov ~= 2N, peerings ~= N on
+the base graph, and substantially more peerings after augmentation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.topology.stats import summarize
+
+
+def test_table2_graph_summary(benchmark, env, env_augmented, capsys):
+    base, aug = benchmark.pedantic(
+        lambda: (summarize(env.graph), summarize(env_augmented.graph)),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["original", base.num_ases, base.num_stubs, base.num_isps, base.num_cps,
+         base.num_customer_provider_edges, base.num_peering_edges],
+        ["augmented", aug.num_ases, aug.num_stubs, aug.num_isps, aug.num_cps,
+         aug.num_customer_provider_edges, aug.num_peering_edges],
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["graph", "ASes", "stubs", "ISPs", "CPs", "cust-prov", "peerings"],
+            rows, title="Table 2: graph composition (paper: 36,964 / 72,848 / 38,829)",
+        ))
+
+    assert abs(base.stub_fraction - 0.85) < 0.05
+    assert 1.4 <= base.num_customer_provider_edges / base.num_ases <= 2.6
+    assert aug.num_peering_edges > base.num_peering_edges

@@ -1,0 +1,36 @@
+"""Table 4 (Appendix D): Tier-1 vs CP degrees, original vs augmented.
+
+Paper: on the augmented graph the five CPs' degrees rival or exceed the
+largest Tier-1s, but (unlike Tier-1s) almost all their edges are
+peerings and they provide no transit.  Shape: CP degree multiplies
+under augmentation and is peering-dominated.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+
+
+def test_table4_degree_comparison(benchmark, env, env_augmented, capsys):
+    def measure():
+        tier1 = [(a, env.graph.degree(a), env_augmented.graph.degree(a))
+                 for a in env.tier1_asns[:5]]
+        cps = [(a, env.graph.degree(a), env_augmented.graph.degree(a))
+               for a in env.cp_asns]
+        return tier1, cps
+
+    tier1, cps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [["tier1", a, b, c] for a, b, c in tier1]
+    rows += [["cp", a, b, c] for a, b, c in cps]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["kind", "AS", "deg original", "deg augmented"],
+            rows, title="Table 4: Tier-1 vs CP degrees",
+        ))
+
+    for asn, before, after in cps:
+        assert after >= before  # augmentation only adds CP edges
+        assert env_augmented.graph.customers_of(asn) == []  # no transit
+    grew = sum(1 for _, before, after in cps if after >= 3 * max(1, before))
+    assert grew >= 3  # most CPs gain several-fold connectivity

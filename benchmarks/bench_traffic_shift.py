@@ -1,0 +1,41 @@
+"""Conclusion / §8.2: S*BGP deployment moves real traffic.
+
+"With security impacting route selection, ISPs will need tools to
+forecast how S*BGP deployment will impact traffic patterns ... so they
+can provision their networks appropriately."  The bench measures the
+aggregate re-provisioning signal: what share of all carried traffic
+changes links between the insecure starting state and the case-study
+final state, and how many links gain/lose traffic entirely.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import case_study_report
+from repro.core.state import DeploymentState, StateDeriver
+from repro.routing.flows import deployment_traffic_shift
+
+
+def test_traffic_shift_across_cascade(benchmark, env, capsys):
+    def measure():
+        report = case_study_report(env)
+        deriver = StateDeriver(env.graph, stub_breaks_ties=True,
+                               compiled=env.cache.compiled)
+        empty = DeploymentState(frozenset(), frozenset())
+        return deployment_traffic_shift(
+            env.cache, deriver, empty, report.result.final_state
+        )
+
+    shift = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Traffic shift: insecure start -> case-study final state")
+        print(f"  links carrying traffic: {shift.num_links_before} -> "
+              f"{shift.num_links_after}")
+        print(f"  links with changed load: {shift.links_changed} "
+              f"(new: {shift.new_links}, dropped: {shift.dropped_links})")
+        print(f"  traffic moved onto different links: "
+              f"{shift.moved_fraction:.1%} of all carried volume")
+        print("  (the provisioning signal the paper's conclusion asks "
+              "operators to forecast)")
+    assert shift.moved_load > 0
+    assert shift.moved_fraction < 0.8  # security is a tie-break, not a rewrite

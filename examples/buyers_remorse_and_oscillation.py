@@ -1,0 +1,75 @@
+"""The dark side of tying security to route selection (Section 7).
+
+Two phenomena under the *incoming* utility model:
+
+1. buyer's remorse (Figure 13): a reconstruction of the paper's AS-4755
+   example, an ISP whose incoming revenue *rises* when it disables
+   S*BGP because a content provider's traffic falls back onto one of
+   its customer links;
+2. oscillation (Appendix F / Theorem 7.1): the CHICKEN construction,
+   two ISPs that endlessly cycle S*BGP on and off under simultaneous
+   myopic best response.
+
+Usage::
+
+    python examples/buyers_remorse_and_oscillation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DeploymentSimulation,
+    DeploymentState,
+    SimulationConfig,
+    StateDeriver,
+    UtilityModel,
+    compute_round_data,
+    project_flip,
+)
+from repro.gadgets.buyers_remorse import build_buyers_remorse
+from repro.gadgets.oscillator import build_chicken
+from repro.routing.cache import RoutingCache
+
+
+def remorse_demo() -> None:
+    print("=" * 64)
+    print("1. Buyer's remorse (Fig. 13): AS 4755 wants S*BGP OFF")
+    net = build_buyers_remorse(num_stubs=24, cp_weight=821.0)
+    g = net.graph
+    cache = RoutingCache(g)
+    deriver = StateDeriver(g, stub_breaks_ties=False, compiled=cache.compiled)
+
+    ea = frozenset([g.index(net.cp), g.index(net.upstream)])
+    state = DeploymentState.initial(ea).with_flips(turn_on=[g.index(net.focal)])
+    rd = compute_round_data(cache, deriver, state, UtilityModel.INCOMING)
+    focal = g.index(net.focal)
+    proj = project_flip(cache, deriver, rd, focal, turning_on=False,
+                        model=UtilityModel.INCOMING)
+
+    print(f"  AS {net.focal} incoming utility with S*BGP ON : {rd.utilities[focal]:9.0f}")
+    print(f"  AS {net.focal} incoming utility if turned OFF : {proj.utility:9.0f}")
+    print(f"  -> Akamai's traffic to {len(net.stubs)} stubs re-enters via the")
+    print(f"     customer link through AS {net.fallback}, so turning OFF pays.")
+
+
+def oscillation_demo() -> None:
+    print("=" * 64)
+    print("2. Oscillation (App. F): the chicken gadget never settles")
+    net = build_chicken()
+    cfg = SimulationConfig(theta=0.0, utility_model=UtilityModel.INCOMING,
+                           max_rounds=12)
+    sim = DeploymentSimulation(net.graph, net.fixed_on, cfg,
+                               player_asns=list(net.players))
+    result = sim.run()
+    g = net.graph
+    for record in result.rounds:
+        on = sorted(g.asn(i) for i in record.turned_on)
+        off = sorted(g.asn(i) for i in record.turned_off)
+        print(f"  round {record.index}: turn ON {on or '-'}  turn OFF {off or '-'}")
+    print(f"  outcome: {result.outcome.value} — and Theorem 7.1 says even "
+          "*deciding* whether this happens is PSPACE-complete.")
+
+
+if __name__ == "__main__":
+    remorse_demo()
+    oscillation_demo()

@@ -1,0 +1,70 @@
+"""How much security does partial deployment actually buy? (§2.2.1)
+
+Measures origin-hijack impact at four points of the transition:
+
+1. today's insecure Internet — the paper cites ~50% of ASes fooled by
+   an average attacker;
+2. mid-cascade and at the case-study's final state — security as a
+   *tie-break* trims but does not end hijacks, the reason §1.4(5)
+   warns that BGP/S*BGP coexistence needs careful engineering;
+3. the proposed end state (all ISPs full S*BGP, all stubs simplex,
+   validation filtering on) — the only vector left is an ISP lying to
+   its own simplex stubs.
+
+Usage::
+
+    python examples/partial_deployment_security.py [num_ases]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_environment, run_case_study
+from repro.core.state import DeploymentState, StateDeriver
+from repro.experiments.report import format_table
+from repro.security import end_state_everyone_secure, impact_for_state
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    samples = 12
+    env = build_environment(n=n, seed=2011, x=0.10)
+    deriver = StateDeriver(env.graph, stub_breaks_ties=True,
+                          compiled=env.cache.compiled)
+
+    print("running the deployment cascade...")
+    report = run_case_study(env, theta=0.05)
+
+    rows = []
+    empty = DeploymentState(frozenset(), frozenset())
+    imp = impact_for_state(env.graph, deriver, empty, samples=samples)
+    rows.append(["insecure internet", "0%", f"{imp.mean_fraction_fooled:.1%}"])
+
+    mid = report.result.rounds[max(0, report.result.num_rounds // 2 - 1)].state
+    sec = deriver.node_secure(mid).mean()
+    imp = impact_for_state(env.graph, deriver, mid, samples=samples)
+    rows.append(["mid-cascade", f"{sec:.0%}", f"{imp.mean_fraction_fooled:.1%}"])
+
+    final = report.result.final_state
+    sec = deriver.node_secure(final).mean()
+    imp = impact_for_state(env.graph, deriver, final, samples=samples)
+    rows.append(["case-study final", f"{sec:.0%}", f"{imp.mean_fraction_fooled:.1%}"])
+
+    end = end_state_everyone_secure(env.graph)
+    imp = impact_for_state(env.graph, deriver, end, samples=samples,
+                           drop_unvalidated=True)
+    rows.append(["end state + filtering", "100%", f"{imp.mean_fraction_fooled:.1%}"])
+
+    print()
+    print(format_table(
+        ["deployment state", "secure ASes", "mean ASes fooled per hijack"],
+        rows, title="Origin-hijack impact across the transition",
+    ))
+    print()
+    print("paper (sec 2.2.1): ~half the Internet fooled today; afterwards an")
+    print("attacker reaches only its own simplex stubs (80% of ISPs have <7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Protocol-level attacks and what S*BGP does about them.
+
+Three demonstrations on message-level BGP (repro.protocol):
+
+1. an *origin hijack* succeeds in today's BGP and is dropped by RPKI
+   origin validation;
+2. a *fabricated link* (path-shortening) beats origin validation but
+   fails S-BGP path validation and soBGP topology validation;
+3. the Appendix-B attack: a victim that prefers *partially* secure
+   paths is steered onto a false route — which is why the paper's
+   proposal only ever prefers fully-secure paths.
+
+Usage::
+
+    python examples/secure_routing_attacks.py
+"""
+
+from __future__ import annotations
+
+from repro.gadgets.attack_network import build_attack_network
+from repro.protocol import (
+    Announcement,
+    Prefix,
+    ProtocolNetwork,
+    RPKI,
+    SecurityMode,
+    TopologyDatabase,
+    evaluate_attack,
+    forge_origin_hijack,
+    forge_path_announcement,
+    originate,
+    validate_path,
+)
+from repro.topology.graph import ASGraph
+
+PFX = Prefix("203.0.113.0", 24)
+
+
+def hijack_demo() -> None:
+    print("=" * 64)
+    print("1. Origin hijack vs RPKI origin validation")
+    graph = ASGraph()
+    for asn in (10, 20, 666, 40):
+        graph.add_as(asn)
+    for customer in (20, 666, 40):
+        graph.add_customer_provider(provider=10, customer=customer)
+
+    for validated in (False, True):
+        rpki = RPKI(seed=b"demo")
+        modes = (
+            {10: SecurityMode.FULL, 20: SecurityMode.SIMPLEX, 40: SecurityMode.FULL}
+            if validated else {}
+        )
+        net = ProtocolNetwork(graph, rpki, modes)
+        net.originate_prefix(20, PFX, issue_roa=validated)
+        net.inject(666, forge_origin_hijack(666, PFX))
+        out = evaluate_attack(net, victim=40, attacker=666, prefix=PFX)
+        world = "with RPKI+S-BGP" if validated else "plain BGP     "
+        verdict = "hijacked!" if out.attacker_on_path else "safe"
+        print(f"  {world}: AS 40 routes via {out.chosen_path} -> {verdict}")
+
+
+def path_shortening_demo() -> None:
+    print("=" * 64)
+    print("2. Fabricated link vs S-BGP and soBGP")
+    rpki = RPKI(seed=b"demo2")
+    for asn in (1, 2, 3):
+        rpki.register_as(asn)
+    rpki.issue_roa(PFX, 1)
+
+    # honest chain 1 -> 2 -> 3 verifies
+    honest = originate(rpki, 1, PFX, next_as=2)
+    from repro.protocol import forward
+
+    honest = forward(rpki, 2, honest, next_as=3)
+    print(f"  honest path {honest.path}: S-BGP valid = "
+          f"{validate_path(rpki, honest, receiver=3)}")
+
+    # attacker 3 claims a direct link to the origin
+    forged = forge_path_announcement(3, (3, 1), PFX)
+    print(f"  forged path {forged.path}: S-BGP valid = "
+          f"{validate_path(rpki, forged, receiver=2)} "
+          "(no signatures for the fabricated hop)")
+
+    db = TopologyDatabase(rpki)
+    db.certify_link(1, 2)
+    db.certify_link(2, 3)
+    print(f"  forged path {forged.path}: soBGP topology valid = "
+          f"{db.validate_path(Announcement(prefix=PFX, path=(3, 1)))} "
+          "(link 3-1 was never certified)")
+
+
+def partial_security_demo() -> None:
+    print("=" * 64)
+    print("3. Appendix B: why partially-secure paths must not be preferred")
+    network = build_attack_network()
+    for prefers in (False, True):
+        net = network.build_protocol_network(p_prefers_partial=prefers)
+        out = evaluate_attack(net, victim=network.p, attacker=network.m,
+                              prefix=network.prefix)
+        rule = "prefers partially-secure" if prefers else "paper's rule (full only)"
+        verdict = "fooled onto the false path!" if out.attacker_on_path else "stays honest"
+        print(f"  victim {rule}: chooses {out.chosen_path} -> {verdict}")
+
+
+if __name__ == "__main__":
+    hijack_demo()
+    path_shortening_demo()
+    partial_security_demo()

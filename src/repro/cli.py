@@ -1,0 +1,181 @@
+"""Command-line interface: ``sbgp-sim``.
+
+Subcommands mirror the experiment harness:
+
+- ``case-study``   the Section-5 run (Figures 3-7, Table 1);
+- ``sweep``        the theta x adopter-set grid (Figures 8-9);
+- ``tiebreak``     tiebreak-set statistics (Figure 10, §6.6-6.7);
+- ``cp-vs-tier1``  Figure 12;
+- ``turnoff``      the §7.3 disable-incentive census;
+- ``attack-impact`` hijack impact vs deployment level (§2.2.1);
+- ``graph-stats``  Tables 2-4 for the generated topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import (
+    build_environment,
+    cells_to_rows,
+    format_series,
+    format_table,
+    per_destination_turn_off_census,
+    run_case_study,
+    run_cp_vs_tier1,
+    run_sweep,
+)
+from repro.routing.tiebreak import (
+    collect_tiebreak_stats,
+    security_sensitive_decision_fraction,
+)
+from repro.topology.stats import summarize, top_by_degree
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=1000, help="number of ASes")
+    parser.add_argument("--seed", type=int, default=2011, help="topology seed")
+    parser.add_argument("--x", type=float, default=0.10, help="CP traffic fraction")
+    parser.add_argument("--theta", type=float, default=0.05, help="deployment threshold")
+    parser.add_argument("--augmented", action="store_true", help="use the augmented graph")
+    parser.add_argument("--workers", type=int, default=1, help="cache-warm workers")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sbgp-sim",
+        description="Market-driven S*BGP deployment simulator (SIGCOMM 2011 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("case-study", "sweep", "tiebreak", "cp-vs-tier1", "turnoff",
+                 "attack-impact", "graph-stats", "experiment"):
+        p = sub.add_parser(name)
+        _add_common(p)
+        if name == "attack-impact":
+            p.add_argument("--samples", type=int, default=15,
+                           help="attacker/victim pairs per state")
+        if name == "experiment":
+            p.add_argument("--id", default=None,
+                           help="experiment id (omit to list all)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment" and args.id is None:
+        from repro.experiments.registry import list_experiments
+
+        for e in list_experiments():
+            print(f"{e.id:8s} {e.title}  ({e.paper_ref})")
+        return 0
+    env = build_environment(
+        n=args.n, seed=args.seed, x=args.x, augmented=args.augmented, workers=args.workers
+    )
+    command = args.command.replace("-", "_")
+    handler = globals()[f"_cmd_{command}"]
+    handler(env, args)
+    return 0
+
+
+def _cmd_case_study(env, args) -> None:
+    report = run_case_study(env, theta=args.theta)
+    print(f"early adopters: {report.early_adopter_asns}")
+    print(format_series("new secure ASes/round", report.fig3_new_ases, "{:d}"))
+    print(format_series("adopting ISPs/round ", report.fig3_new_isps, "{:d}"))
+    print(f"final: {report.fraction_secure_ases:.1%} of ASes secure "
+          f"({report.result.outcome.value} after {report.result.num_rounds} rounds)")
+    zs = report.zero_sum
+    print(f"zero-sum: {zs.fraction_isps_above_threshold:.1%} of ISPs end above "
+          f"(1+theta)x start; insecure ISPs end at "
+          f"{zs.mean_final_over_start_insecure:.3f}x start on average")
+
+
+def _cmd_sweep(env, args) -> None:
+    cells = run_sweep(env)
+    print(format_table(
+        ["adopters", "theta", "frac ASes", "frac ISPs", "frac paths", "f^2", "rounds", "outcome"],
+        cells_to_rows(cells),
+        title="Fig 8/9: adoption and secure paths vs theta",
+    ))
+
+
+def _cmd_tiebreak(env, args) -> None:
+    stats = collect_tiebreak_stats(env.graph, dest_routing=env.cache.dest_routing)
+    print(f"mean tiebreak set: {stats.mean:.2f} (ISPs {stats.mean_isp:.2f}, "
+          f"stubs {stats.mean_stub:.2f})")
+    print(f"multi-path pairs: {stats.multi_path_fraction:.1%} "
+          f"(ISP sources: {stats.multi_path_fraction_isp:.1%})")
+    frac = security_sensitive_decision_fraction(env.graph, stats)
+    print(f"security-sensitive routing decisions (sec 6.7): {frac:.2%}")
+
+
+def _cmd_cp_vs_tier1(env, args) -> None:
+    cells = run_cp_vs_tier1(env)
+    rows = [
+        [f"{c.x:.2f}", c.adopters, f"{c.theta:.2f}",
+         f"{c.fraction_secure_ases:.3f}", f"{c.fraction_secure_isps:.3f}"]
+        for c in cells
+    ]
+    print(format_table(
+        ["x", "adopters", "theta", "frac ASes", "frac ISPs"],
+        rows, title="Fig 12: CPs vs Tier-1s",
+    ))
+
+
+def _cmd_turnoff(env, args) -> None:
+    from repro.core.config import SimulationConfig, UtilityModel
+    from repro.core.dynamics import DeploymentSimulation
+
+    config = SimulationConfig(
+        theta=args.theta, utility_model=UtilityModel.INCOMING, max_rounds=40
+    )
+    sim = DeploymentSimulation(env.graph, env.case_study_adopters(), config, env.cache)
+    result = sim.run()
+    census = per_destination_turn_off_census(env, result.final_state)
+    print(f"secure ISPs: {census.num_secure_isps}; with a per-destination "
+          f"turn-off incentive: {census.num_with_incentive} ({census.fraction:.1%})")
+    if census.examples:
+        print(f"examples: {list(census.examples)}")
+
+
+def _cmd_attack_impact(env, args) -> None:
+    from repro.core.state import DeploymentState, StateDeriver
+    from repro.security import end_state_everyone_secure, impact_for_state
+
+    deriver = StateDeriver(env.graph, stub_breaks_ties=True,
+                           compiled=env.cache.compiled)
+    rows = []
+    empty = DeploymentState(frozenset(), frozenset())
+    imp = impact_for_state(env.graph, deriver, empty, samples=args.samples)
+    rows.append(["insecure internet", f"{imp.mean_fraction_fooled:.3f}"])
+    end = end_state_everyone_secure(env.graph)
+    imp = impact_for_state(env.graph, deriver, end, samples=args.samples,
+                           drop_unvalidated=True)
+    rows.append(["end state + filtering", f"{imp.mean_fraction_fooled:.3f}"])
+    print(format_table(
+        ["state", "mean fraction fooled"], rows,
+        title="Origin-hijack impact (sec 2.2.1: ~0.5 today, ~own stubs after)",
+    ))
+
+
+def _cmd_experiment(env, args) -> None:
+    from repro.experiments.registry import run_experiment
+
+    print(run_experiment(args.id, env))
+
+
+def _cmd_graph_stats(env, args) -> None:
+    s = summarize(env.graph)
+    print(format_table(
+        ["ASes", "stubs", "ISPs", "CPs", "cust-prov edges", "peerings"],
+        [[s.num_ases, s.num_stubs, s.num_isps, s.num_cps,
+          s.num_customer_provider_edges, s.num_peering_edges]],
+        title="Table 2: graph summary",
+    ))
+    print("top-5 by degree:", top_by_degree(env.graph, 5))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

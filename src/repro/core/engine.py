@@ -1,0 +1,167 @@
+"""Per-round routing state and utilities (the Map-Reduce of App. C.3).
+
+For a deployment state ``S`` the engine resolves the routing tree of
+every destination (the *map* step, optionally parallelised across
+destinations) and reduces the per-destination subtrees into the
+outgoing / incoming utility of every AS (Section 3.3):
+
+- outgoing (Eq. 1): ``u_n = sum over destinations d that n reaches via
+  a customer edge of the weight of n's subtree in d's routing tree``;
+- incoming (Eq. 2): ``u_n = sum over all destinations of the weights of
+  the subtrees hanging off n via customer edges``.
+
+The per-destination results are retained for the round so that the
+projection engine can compute deltas against them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import UtilityModel
+from repro.core.state import DeploymentState, StateDeriver
+from repro.routing.cache import RoutingCache
+from repro.routing.fast_tree import RoutingTree, compute_tree, subtree_weights
+from repro.routing.policy import RouteClass
+from repro.routing.tree import DestRouting
+
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PROVIDER = int(RouteClass.PROVIDER)
+
+
+@dataclasses.dataclass
+class DestState:
+    """Resolved routing toward one destination in the current state."""
+
+    dr: DestRouting
+    tree: RoutingTree
+    weights: np.ndarray  # subtree weight per node (excluding the node)
+    _children: tuple[np.ndarray, np.ndarray] | None = None
+
+    def children(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR (indptr, idx): children of each node in the routing tree."""
+        if self._children is None:
+            choice = self.tree.choice
+            n = len(choice)
+            valid = np.flatnonzero(choice >= 0)
+            parents = choice[valid]
+            counts = np.bincount(parents, minlength=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            order = np.argsort(parents, kind="stable")
+            self._children = (indptr, valid[order].astype(np.int32))
+        return self._children
+
+    def children_of(self, node: int) -> np.ndarray:
+        """Nodes whose next hop is ``node``."""
+        indptr, idx = self.children()
+        return idx[indptr[node]:indptr[node + 1]]
+
+
+def outgoing_contribution(ds: DestState, node: int) -> float:
+    """Contribution of this destination to ``node``'s outgoing utility."""
+    if ds.dr.cls[node] != _CUSTOMER:
+        return 0.0
+    return float(ds.weights[node])
+
+
+def incoming_contribution(ds: DestState, node: int, node_weights: np.ndarray) -> float:
+    """Contribution of this destination to ``node``'s incoming utility."""
+    kids = ds.children_of(node)
+    if not len(kids):
+        return 0.0
+    customer_kids = kids[ds.dr.cls[kids] == _PROVIDER]
+    if not len(customer_kids):
+        return 0.0
+    return float((ds.weights[customer_kids] + node_weights[customer_kids]).sum())
+
+
+@dataclasses.dataclass
+class RoundData:
+    """Everything the decision rule needs about the current round."""
+
+    state: DeploymentState
+    node_secure: np.ndarray
+    breaks_ties: np.ndarray
+    dest_states: list[DestState]
+    utilities: np.ndarray          # per node, under the configured model
+    sec_matrix: np.ndarray         # bool [num_dests, n]: source path security
+    any_sec_matrix: np.ndarray     # bool [num_dests, n]: secure tiebreak cand.
+    secure_dest_positions: np.ndarray  # positions k with a secure destination
+
+    def dest_state(self, pos: int) -> DestState:
+        """Per-destination state by position in the cache's dest list."""
+        return self.dest_states[pos]
+
+
+def compute_round_data(
+    cache: RoutingCache,
+    deriver: StateDeriver,
+    state: DeploymentState,
+    model: UtilityModel,
+) -> RoundData:
+    """Resolve all routing trees and utilities for ``state``."""
+    graph = cache.graph
+    node_secure = deriver.node_secure(state)
+    breaks = deriver.breaks_ties(node_secure)
+    w = graph.weights
+
+    num_dests = len(cache.destinations)
+    n = graph.n
+    utilities = np.zeros(n, dtype=np.float64)
+    sec_matrix = np.zeros((num_dests, n), dtype=bool)
+    any_sec_matrix = np.zeros((num_dests, n), dtype=bool)
+    dest_states: list[DestState] = []
+
+    for k, dest in enumerate(cache.destinations):
+        dr = cache.dest_routing(dest)
+        tree = compute_tree(dr, node_secure, breaks)
+        weights = subtree_weights(dr, tree, w)
+        ds = DestState(dr=dr, tree=tree, weights=weights)
+        dest_states.append(ds)
+        sec_matrix[k] = tree.secure
+        any_sec_matrix[k] = tree.any_secure_candidate
+        _accumulate_utility(utilities, ds, w, model)
+
+    secure_positions = np.flatnonzero(
+        node_secure[np.asarray(cache.destinations, dtype=np.int64)]
+    )
+    return RoundData(
+        state=state,
+        node_secure=node_secure,
+        breaks_ties=breaks,
+        dest_states=dest_states,
+        utilities=utilities,
+        sec_matrix=sec_matrix,
+        any_sec_matrix=any_sec_matrix,
+        secure_dest_positions=secure_positions,
+    )
+
+
+def _accumulate_utility(
+    utilities: np.ndarray, ds: DestState, node_weights: np.ndarray, model: UtilityModel
+) -> None:
+    cls = ds.dr.cls
+    if model is UtilityModel.OUTGOING:
+        mask = cls == _CUSTOMER
+        utilities[mask] += ds.weights[mask]
+    else:
+        sources = np.flatnonzero(cls == _PROVIDER)
+        if len(sources):
+            np.add.at(
+                utilities,
+                ds.tree.choice[sources],
+                ds.weights[sources] + node_weights[sources],
+            )
+
+
+def utilities_for_state(
+    cache: RoutingCache,
+    deriver: StateDeriver,
+    state: DeploymentState,
+    model: UtilityModel,
+) -> np.ndarray:
+    """Convenience wrapper: utilities of every AS in ``state``."""
+    return compute_round_data(cache, deriver, state, model).utilities

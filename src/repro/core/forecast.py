@@ -1,0 +1,216 @@
+"""Local utility forecasting — "shadow configurations" (§8.2).
+
+The paper's projections assume global information.  In practice an ISP
+would estimate: "an ISP might set up a router that listens to S*BGP
+messages from neighboring ASes, and then use these messages to predict
+how becoming secure might impact its neighbors' route selections.  A
+more sophisticated mechanism could use extended 'shadow configurations'
+with neighboring ASes to gain visibility into how traffic flows might
+change."
+
+:func:`local_project_flip` implements that estimator: the flip's
+security consequences are propagated only ``horizon`` hops up the
+tiebreak-dependency graph (horizon 1 = the ISP's own neighbors re-
+decide, nobody further; larger horizons = deeper shadow cooperation),
+and the resulting traffic delta is evaluated on the otherwise-frozen
+routing trees.  The gap to the exact projection is the estimation error
+the paper says to fold into theta ("if projected utility is off by a
+factor of ±eps, model this with threshold theta ± eps");
+:func:`forecast_error_study` measures that eps distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import UtilityModel
+from repro.core.engine import RoundData
+from repro.core.projection import (
+    _collect_old_subtrees,
+    _incoming_walk_delta,
+    _outgoing_walk_delta,
+    _recompute_node,
+    project_flip,
+)
+from repro.core.state import StateDeriver
+from repro.routing.cache import RoutingCache
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalForecast:
+    """A locally-estimated projection and its exact counterpart."""
+
+    isp: int
+    horizon: int
+    estimated_utility: float
+    exact_utility: float
+    current_utility: float
+
+    @property
+    def error(self) -> float:
+        """Relative estimation error vs the exact projection."""
+        if self.exact_utility == 0:
+            return 0.0
+        return (self.estimated_utility - self.exact_utility) / self.exact_utility
+
+    @property
+    def epsilon(self) -> float:
+        """The §8.2 theta adjustment: error relative to current utility."""
+        if self.current_utility == 0:
+            return 0.0
+        return (self.estimated_utility - self.exact_utility) / self.current_utility
+
+
+def _bounded_delta(
+    ds,
+    node_secure_new: np.ndarray,
+    breaks_new: np.ndarray,
+    flips: dict[int, bool],
+    isp: int,
+    model: UtilityModel,
+    node_weights: np.ndarray,
+    horizon: int,
+) -> float:
+    """Depth-capped version of the incremental per-destination delta."""
+    dr = ds.dr
+    tree = ds.tree
+    old_choice = tree.choice
+    old_secure = tree.secure
+    lengths = dr.lengths
+    dest = dr.dest
+
+    changed_sec: dict[int, bool] = {}
+    changed_choice: dict[int, int] = {}
+    pending: dict[int, list[tuple[int, int]]] = {}
+
+    def schedule(node: int, depth: int) -> None:
+        pending.setdefault(int(lengths[node]), []).append((node, depth))
+
+    for node in flips:
+        if dr.row_of[node] < 0:
+            continue
+        if node == dest:
+            # the destination's own security changed; its dependents see it
+            new_sec = bool(node_secure_new[dest])
+            if new_sec != bool(old_secure[dest]):
+                changed_sec[dest] = new_sec
+                for dep in dr.dependents_of(dest):
+                    schedule(int(dep), 1)
+            continue
+        schedule(node, 0)
+    if not pending:
+        return 0.0
+
+    level = min(pending)
+    max_level = max(pending)
+    seen: set[int] = set()
+    while level <= max_level:
+        for u, depth in pending.pop(level, ()):  # noqa: B909
+            if u in seen or depth > horizon:
+                continue
+            seen.add(u)
+            new_choice, new_sec = _recompute_node(
+                dr, u, old_secure, changed_sec, node_secure_new, breaks_new
+            )
+            if new_choice != old_choice[u]:
+                changed_choice[u] = new_choice
+            if new_sec != bool(old_secure[u]):
+                changed_sec[u] = new_sec
+                for dep in dr.dependents_of(u):
+                    dep_level = int(lengths[dep])
+                    schedule(int(dep), depth + 1)
+                    if dep_level > max_level:
+                        max_level = dep_level
+        level += 1
+
+    if not changed_choice:
+        return 0.0
+    affected = _collect_old_subtrees(ds, list(changed_choice))
+    if model is UtilityModel.OUTGOING:
+        return _outgoing_walk_delta(ds, changed_choice, affected, isp, node_weights)
+    return _incoming_walk_delta(ds, changed_choice, affected, isp, node_weights)
+
+
+def local_project_flip(
+    cache: RoutingCache,
+    deriver: StateDeriver,
+    rd: RoundData,
+    isp: int,
+    turning_on: bool = True,
+    model: UtilityModel = UtilityModel.OUTGOING,
+    horizon: int = 1,
+) -> float:
+    """Locally-estimated projected utility of ``isp`` after a flip.
+
+    ``horizon`` bounds how far (in tiebreak-dependency hops) the ISP
+    can see reactions: 1 = immediate neighbors only.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    if turning_on:
+        stubs = deriver.newly_secured_stubs(rd.state, isp)
+        flips: dict[int, bool] = {isp: True, **{s: True for s in stubs}}
+    else:
+        stubs = deriver.orphaned_stubs(rd.state, isp)
+        flips = {isp: False, **{s: False for s in stubs}}
+
+    node_secure_new = rd.node_secure.copy()
+    for node, flag in flips.items():
+        node_secure_new[node] = flag
+    breaks_new = deriver.breaks_ties(node_secure_new)
+    w = cache.graph.weights
+
+    # destinations whose trees can react: currently-secure ones plus the
+    # ISP's own flipped stubs (all locally observable via S*BGP messages)
+    positions = set(int(p) for p in rd.secure_dest_positions)
+    for node in flips:
+        pos = cache.position_of(node)
+        if pos is not None:
+            positions.add(pos)
+    if model is UtilityModel.OUTGOING:
+        # only destinations reached over a customer edge pay (Eq. 1)
+        from repro.routing.policy import RouteClass
+
+        customer = int(RouteClass.CUSTOMER)
+        positions = {
+            pos for pos in positions if cache.cls_matrix[pos, isp] == customer
+        }
+
+    delta = 0.0
+    for pos in positions:
+        delta += _bounded_delta(
+            rd.dest_states[pos], node_secure_new, breaks_new, flips, isp,
+            model, w, horizon,
+        )
+    return float(rd.utilities[isp]) + delta
+
+
+def forecast_error_study(
+    cache: RoutingCache,
+    deriver: StateDeriver,
+    rd: RoundData,
+    isps: list[int],
+    model: UtilityModel = UtilityModel.OUTGOING,
+    horizon: int = 1,
+) -> list[LocalForecast]:
+    """Compare local estimates against exact projections for ``isps``."""
+    out: list[LocalForecast] = []
+    for isp in isps:
+        exact = project_flip(
+            cache, deriver, rd, isp, turning_on=True, model=model
+        ).utility
+        estimated = local_project_flip(
+            cache, deriver, rd, isp, turning_on=True, model=model, horizon=horizon
+        )
+        out.append(
+            LocalForecast(
+                isp=isp,
+                horizon=horizon,
+                estimated_utility=estimated,
+                exact_utility=exact,
+                current_utility=float(rd.utilities[isp]),
+            )
+        )
+    return out

@@ -1,0 +1,69 @@
+"""Mapping traffic volume to revenue (§8.4).
+
+The paper equates utility with transited customer-traffic volume and
+notes: "In practice, ISPs may use a variety of pricing policies, e.g.,
+by volume, flat rates based on discrete units of capacity.  Thus,
+extensions might consider ... more accurately map revenue to traffic
+volumes."
+
+A :class:`PricingModel` transforms traffic into revenue before the
+update rule compares it:
+
+- ``LINEAR``   — revenue = traffic (the paper's model);
+- ``TIERED``   — flat rate per discrete capacity unit
+  (``ceil(traffic / tier)``): small traffic gains that stay inside the
+  current tier earn nothing, damping weak deployment incentives;
+- ``CONCAVE``  — ``traffic ** alpha`` with ``alpha < 1``: volume
+  discounts compress differences at large ISPs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+
+class PricingModel(enum.Enum):
+    """How transited traffic converts to ISP revenue."""
+
+    LINEAR = "linear"
+    TIERED = "tiered"
+    CONCAVE = "concave"
+
+
+@dataclasses.dataclass(frozen=True)
+class Pricing:
+    """A pricing model plus its parameters.
+
+    ``tier`` is the capacity-unit size for TIERED (in traffic-weight
+    units); ``alpha`` the exponent for CONCAVE.
+    """
+
+    model: PricingModel = PricingModel.LINEAR
+    tier: float = 50.0
+    alpha: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.tier <= 0:
+            raise ValueError(f"tier must be positive, got {self.tier}")
+        if not 0 < self.alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def revenue(self, traffic: float) -> float:
+        """Revenue earned for transiting ``traffic``."""
+        if traffic < 0:
+            raise ValueError(f"traffic must be >= 0, got {traffic}")
+        if self.model is PricingModel.LINEAR:
+            return traffic
+        if self.model is PricingModel.TIERED:
+            return math.ceil(traffic / self.tier) * self.tier
+        return traffic ** self.alpha
+
+    def improves(self, current: float, projected: float, theta: float) -> bool:
+        """Update rule (3) on revenues: deploy iff the flip's *revenue*
+        beats the threshold."""
+        return self.revenue(projected) > (1.0 + theta) * self.revenue(current)
+
+
+LINEAR_PRICING = Pricing(model=PricingModel.LINEAR)

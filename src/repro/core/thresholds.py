@@ -1,0 +1,59 @@
+"""Heterogeneous deployment thresholds (§8.2).
+
+The paper sweeps one common theta but notes that inaccurate local
+utility estimates can be folded into it ("if projected utility is off
+by a factor of ±eps, model this with threshold theta ± eps.  ...
+extensions might capture inaccurate estimates of projected utility by
+randomizing theta").  These generators produce per-ISP threshold
+arrays; :class:`~repro.core.dynamics.DeploymentSimulation` accepts them
+via ``thresholds=``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import ASGraph
+
+
+def uniform_thresholds(graph: ASGraph, theta: float) -> np.ndarray:
+    """Every AS uses the same threshold (the paper's default)."""
+    if theta < 0:
+        raise ValueError(f"theta must be >= 0, got {theta}")
+    return np.full(graph.n, theta, dtype=np.float64)
+
+
+def lognormal_thresholds(
+    graph: ASGraph, median_theta: float, sigma: float = 0.5, seed: int = 0
+) -> np.ndarray:
+    """Randomised thresholds with the given median (multiplicative noise).
+
+    ``theta_i = median_theta * exp(sigma * Z_i)`` with standard-normal
+    ``Z_i`` — the §8.2 "randomizing theta" extension; ``sigma`` is the
+    estimate-uncertainty knob.
+    """
+    if median_theta < 0:
+        raise ValueError(f"median_theta must be >= 0, got {median_theta}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    return median_theta * np.exp(sigma * rng.standard_normal(graph.n))
+
+
+def degree_scaled_thresholds(
+    graph: ASGraph, base_theta: float, exponent: float = 0.25
+) -> np.ndarray:
+    """Larger networks face proportionally larger deployment hurdles.
+
+    ``theta_i = base_theta * (degree_i / median_degree) ** exponent``.
+    The paper's multiplicative rule already scales *costs* with transit
+    volume; this additionally scales the required *margin*, modelling
+    organisational inertia at big ISPs.
+    """
+    if base_theta < 0:
+        raise ValueError(f"base_theta must be >= 0, got {base_theta}")
+    degrees = np.array(
+        [max(1, graph.degree_of_index(i)) for i in range(graph.n)], dtype=np.float64
+    )
+    median = float(np.median(degrees))
+    return base_theta * (degrees / max(1.0, median)) ** exponent

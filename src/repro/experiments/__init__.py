@@ -1,0 +1,69 @@
+"""Experiment harness: environments, case study, sweeps, reports."""
+
+from repro.experiments.case_study import (
+    CaseStudyReport,
+    build_report,
+    run_case_study,
+)
+from repro.experiments.cp_vs_tier1 import (
+    CpVsTier1Cell,
+    run_cp_vs_tier1,
+    run_graph_comparison,
+)
+from repro.experiments.persistence import (
+    load_result_summary,
+    result_to_dict,
+    save_result,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import format_percent, format_series, format_table
+from repro.experiments.scaling import ScalePoint, run_scaling_study
+from repro.experiments.setup import ExperimentEnv, build_environment
+from repro.experiments.sweeps import (
+    DEFAULT_THETAS,
+    SweepCell,
+    cells_to_rows,
+    run_sweep,
+    stub_tiebreak_comparison,
+)
+from repro.experiments.turnoff import (
+    TurnOffCensus,
+    per_destination_turn_off_census,
+    whole_network_turn_off_census,
+)
+
+__all__ = [
+    "CaseStudyReport",
+    "CpVsTier1Cell",
+    "DEFAULT_THETAS",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentEnv",
+    "ScalePoint",
+    "SweepCell",
+    "TurnOffCensus",
+    "build_environment",
+    "build_report",
+    "cells_to_rows",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "list_experiments",
+    "load_result_summary",
+    "per_destination_turn_off_census",
+    "run_case_study",
+    "run_cp_vs_tier1",
+    "run_experiment",
+    "run_graph_comparison",
+    "run_scaling_study",
+    "result_to_dict",
+    "run_sweep",
+    "save_result",
+    "stub_tiebreak_comparison",
+    "whole_network_turn_off_census",
+]

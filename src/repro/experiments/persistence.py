@@ -1,0 +1,91 @@
+"""Saving and loading simulation results as JSON.
+
+Long sweeps (hours at paper scale) should survive the process; these
+helpers serialise the decision-relevant trace of a
+:class:`~repro.core.dynamics.SimulationResult` — per-round adopters,
+security counts, utilities of tracked ASes — into plain JSON.  Routing
+trees are not persisted (they are recomputable from the graph + state).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.core.dynamics import SimulationResult
+
+
+def result_to_dict(
+    result: SimulationResult, track_asns: list[int] | None = None
+) -> dict[str, Any]:
+    """Serialisable summary of a finished simulation.
+
+    ``track_asns`` selects ASes whose full utility history is included
+    (defaults to the early adopters).
+    """
+    graph = result.graph
+    tracked = track_asns if track_asns is not None else sorted(
+        graph.asn(i) for i in result.early_adopters
+    )
+    histories = {}
+    for asn in tracked:
+        i = graph.index(asn)
+        try:
+            histories[str(asn)] = result.utility_history(i)
+        except ValueError:  # utilities not recorded
+            histories = {}
+            break
+    return {
+        "format": "repro.simulation-result/1",
+        "config": {
+            "theta": result.config.theta,
+            "utility_model": result.config.utility_model.value,
+            "stub_breaks_ties": result.config.stub_breaks_ties,
+            "max_rounds": result.config.max_rounds,
+        },
+        "outcome": result.outcome.value,
+        "num_ases": graph.n,
+        "early_adopters": sorted(graph.asn(i) for i in result.early_adopters),
+        "final_deployers": sorted(graph.asn(i) for i in result.final_state.deployers),
+        "final_secure_asns": sorted(
+            graph.asn(i) for i in range(graph.n) if result.final_node_secure[i]
+        ),
+        "rounds": [
+            {
+                "index": record.index,
+                "secure_ases": record.num_secure_ases,
+                "turned_on": sorted(graph.asn(i) for i in record.turned_on),
+                "turned_off": sorted(graph.asn(i) for i in record.turned_off),
+            }
+            for record in result.rounds
+        ],
+        "tracked_utilities": histories,
+    }
+
+
+def save_result(
+    result: SimulationResult,
+    target: str | Path | TextIO,
+    track_asns: list[int] | None = None,
+) -> None:
+    """Write :func:`result_to_dict` as JSON."""
+    payload = result_to_dict(result, track_asns)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+    else:
+        json.dump(payload, target, indent=1)
+
+
+def load_result_summary(source: str | Path | TextIO) -> dict[str, Any]:
+    """Load a previously saved result summary (with format check)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(source)
+    fmt = payload.get("format")
+    if fmt != "repro.simulation-result/1":
+        raise ValueError(f"unrecognised result format: {fmt!r}")
+    return payload

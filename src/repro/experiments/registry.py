@@ -1,0 +1,130 @@
+"""Named experiment registry: every paper artefact, runnable by id.
+
+Maps experiment ids ("fig3", "table1", "sec67", ...) to self-contained
+runners that take an :class:`ExperimentEnv` and return printable text.
+The CLI exposes this as ``sbgp-sim experiment --id <id>``; benchmarks
+remain the canonical regeneration path (they also assert shapes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation
+from repro.core.diamonds import diamond_census
+from repro.experiments.case_study import run_case_study
+from repro.experiments.report import format_series, format_table
+from repro.experiments.setup import ExperimentEnv
+from repro.experiments.sweeps import cells_to_rows, run_sweep
+from repro.experiments.turnoff import per_destination_turn_off_census
+from repro.routing.tiebreak import (
+    collect_tiebreak_stats,
+    security_sensitive_decision_fraction,
+)
+from repro.topology.stats import summarize
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """A runnable, named reproduction target."""
+
+    id: str
+    title: str
+    paper_ref: str
+    run: Callable[[ExperimentEnv], str]
+
+
+def _table1(env: ExperimentEnv) -> str:
+    adopters = env.case_study_adopters()
+    census = diamond_census(env.graph, adopters, env.cache)
+    rows = [[a, census.contested_stubs[a], census.competitor_pairs[a]]
+            for a in adopters]
+    return format_table(
+        ["early adopter", "contested stubs", "competitor pairs"], rows,
+        title="Table 1: diamonds per early adopter",
+    )
+
+
+def _fig3(env: ExperimentEnv) -> str:
+    report = run_case_study(env, theta=0.05)
+    lines = [
+        "Fig 3: deployment per round (theta=5%)",
+        format_series("  newly secure ASes", report.fig3_new_ases, "{:d}"),
+        format_series("  adopting ISPs    ", report.fig3_new_isps, "{:d}"),
+        f"  final: {report.fraction_secure_ases:.1%} of ASes secure",
+    ]
+    return "\n".join(lines)
+
+
+def _fig8(env: ExperimentEnv) -> str:
+    cells = run_sweep(env, thetas=(0.0, 0.05, 0.10, 0.30, 0.50))
+    return format_table(
+        ["adopters", "theta", "frac ASes", "frac ISPs", "frac paths",
+         "f^2", "rounds", "outcome"],
+        cells_to_rows(cells),
+        title="Fig 8/9: adoption and secure paths vs theta",
+    )
+
+
+def _fig10(env: ExperimentEnv) -> str:
+    stats = collect_tiebreak_stats(env.graph, dest_routing=env.cache.dest_routing)
+    frac = security_sensitive_decision_fraction(env.graph, stats)
+    return (
+        f"Fig 10 / sec 6.6-6.7: mean tiebreak {stats.mean:.2f} "
+        f"(ISPs {stats.mean_isp:.2f}, stubs {stats.mean_stub:.2f}); "
+        f"multi-path {stats.multi_path_fraction:.1%}; "
+        f"security-sensitive decisions {frac:.2%}"
+    )
+
+
+def _sec73(env: ExperimentEnv) -> str:
+    config = SimulationConfig(theta=0.05, utility_model=UtilityModel.OUTGOING)
+    sim = DeploymentSimulation(env.graph, env.case_study_adopters(), config, env.cache)
+    state = sim.run().final_state
+    census = per_destination_turn_off_census(env, state, stub_breaks_ties=True)
+    return (
+        f"Sec 7.3: {census.num_with_incentive}/{census.num_secure_isps} secure "
+        f"ISPs ({census.fraction:.1%}) have a per-destination turn-off incentive"
+    )
+
+
+def _table2(env: ExperimentEnv) -> str:
+    s = summarize(env.graph)
+    return format_table(
+        ["ASes", "stubs", "ISPs", "CPs", "cust-prov", "peerings"],
+        [[s.num_ases, s.num_stubs, s.num_isps, s.num_cps,
+          s.num_customer_provider_edges, s.num_peering_edges]],
+        title="Table 2: graph composition",
+    )
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment("table1", "Diamond census", "Table 1 / §5.1", _table1),
+        Experiment("fig3", "Adoption per round", "Fig 3 / §5.2", _fig3),
+        Experiment("fig8", "Theta sweep", "Fig 8-9 / §6.3-6.5", _fig8),
+        Experiment("fig10", "Tiebreak sets", "Fig 10 / §6.6-6.7", _fig10),
+        Experiment("sec73", "Turn-off census", "§7.3", _sec73),
+        Experiment("table2", "Graph composition", "Table 2 / App D", _table2),
+    )
+}
+
+
+def run_experiment(experiment_id: str, env: ExperimentEnv) -> str:
+    """Run a registered experiment by id (raises KeyError with a hint)."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return experiment.run(env)
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments, id-sorted."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS)]

@@ -1,0 +1,124 @@
+"""Theta sweeps over early-adopter sets (Figures 8, 9, 11, 14).
+
+One sweep = run the deployment game to termination for every
+(early-adopter set, theta) pair and record adoption and security
+outcomes.  The cache is shared across all runs on the same graph, so
+each extra cell costs only the game rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation
+from repro.core.engine import compute_round_data
+from repro.core.metrics import (
+    deployment_outcome,
+    projection_accuracy,
+    security_snapshot,
+)
+from repro.core.state import StateDeriver
+from repro.experiments.setup import ExperimentEnv
+
+#: the theta grid of Fig. 8
+DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """Outcome of one (adopter set, theta) simulation."""
+
+    adopters: str
+    theta: float
+    stub_breaks_ties: bool
+    fraction_secure_ases: float    # Fig. 8a
+    fraction_secure_isps: float    # Fig. 8b
+    fraction_isps_by_market: float  # §6.5 market-vs-simplex split
+    fraction_secure_paths: float   # Fig. 9
+    f_squared: float               # Fig. 9 reference
+    num_rounds: int
+    outcome: str
+    projection_ratios: tuple[float, ...] = ()  # Fig. 14 (theta = 0 runs)
+
+
+def run_sweep(
+    env: ExperimentEnv,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    adopter_sets: dict[str, list[int]] | None = None,
+    stub_breaks_ties: bool = True,
+    utility_model: UtilityModel = UtilityModel.OUTGOING,
+    collect_projection_accuracy: bool = False,
+    max_rounds: int = 100,
+) -> list[SweepCell]:
+    """Run the full (adopter set x theta) grid and return its cells."""
+    adopter_sets = adopter_sets or env.adopter_sets()
+    cells: list[SweepCell] = []
+    for name, adopters in adopter_sets.items():
+        for theta in thetas:
+            config = SimulationConfig(
+                theta=theta,
+                utility_model=utility_model,
+                stub_breaks_ties=stub_breaks_ties,
+                max_rounds=max_rounds,
+            )
+            sim = DeploymentSimulation(env.graph, adopters, config, env.cache)
+            result = sim.run()
+            outcome = deployment_outcome(result)
+            final_rd = compute_round_data(
+                env.cache,
+                StateDeriver(env.graph, stub_breaks_ties, env.cache.compiled),
+                result.final_state,
+                utility_model,
+            )
+            snapshot = security_snapshot(env.graph, final_rd)
+            ratios: tuple[float, ...] = ()
+            if collect_projection_accuracy:
+                ratios = tuple(projection_accuracy(result))
+            cells.append(
+                SweepCell(
+                    adopters=name,
+                    theta=theta,
+                    stub_breaks_ties=stub_breaks_ties,
+                    fraction_secure_ases=outcome.fraction_secure_ases,
+                    fraction_secure_isps=outcome.fraction_secure_isps,
+                    fraction_isps_by_market=outcome.fraction_isps_by_market,
+                    fraction_secure_paths=snapshot.fraction_secure_paths,
+                    f_squared=snapshot.f_squared,
+                    num_rounds=outcome.num_rounds,
+                    outcome=outcome.outcome,
+                    projection_ratios=ratios,
+                )
+            )
+    return cells
+
+
+def stub_tiebreak_comparison(
+    env: ExperimentEnv,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    adopter_sets: dict[str, list[int]] | None = None,
+) -> dict[bool, list[SweepCell]]:
+    """Fig. 11: the same sweep with stubs breaking ties or ignoring
+    security — the paper finds the outcomes nearly identical."""
+    return {
+        breaks: run_sweep(env, thetas, adopter_sets, stub_breaks_ties=breaks)
+        for breaks in (True, False)
+    }
+
+
+def cells_to_rows(cells: Iterable[SweepCell]) -> list[list[object]]:
+    """Rows for :func:`repro.experiments.report.format_table`."""
+    return [
+        [
+            c.adopters,
+            f"{c.theta:.2f}",
+            f"{c.fraction_secure_ases:.3f}",
+            f"{c.fraction_secure_isps:.3f}",
+            f"{c.fraction_secure_paths:.3f}",
+            f"{c.f_squared:.3f}",
+            c.num_rounds,
+            c.outcome,
+        ]
+        for c in cells
+    ]

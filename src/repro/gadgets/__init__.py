@@ -1,0 +1,31 @@
+"""Theory gadgets: the paper's constructions, runnable."""
+
+from repro.gadgets.attack_network import AttackNetwork, build_attack_network
+from repro.gadgets.buyers_remorse import BuyersRemorseNetwork, build_buyers_remorse
+from repro.gadgets.diamond import DiamondNetwork, build_diamond
+from repro.gadgets.dilemma import DilemmaNetwork, build_dilemma
+from repro.gadgets.fig1 import Fig1Network, build_fig1
+from repro.gadgets.hardness import (
+    SetCoverInstance,
+    SetCoverNetwork,
+    build_set_cover_network,
+)
+from repro.gadgets.oscillator import ChickenNetwork, build_chicken
+
+__all__ = [
+    "AttackNetwork",
+    "BuyersRemorseNetwork",
+    "ChickenNetwork",
+    "DiamondNetwork",
+    "DilemmaNetwork",
+    "Fig1Network",
+    "SetCoverInstance",
+    "SetCoverNetwork",
+    "build_attack_network",
+    "build_buyers_remorse",
+    "build_chicken",
+    "build_diamond",
+    "build_dilemma",
+    "build_fig1",
+    "build_set_cover_network",
+]

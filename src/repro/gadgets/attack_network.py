@@ -1,0 +1,117 @@
+"""The partially-secure-path attack network (Appendix B, Figure 15).
+
+Topology: victim prefix originated by ``v``; honest route
+``p <- r <- s <- v``; attacker ``m`` (customer of secure AS ``q``)
+falsely announces the direct path ``(m, v)``.  Only ``p`` and ``q``
+run S*BGP.
+
+``p`` then faces two equal-length candidates:
+
+- the *true but insecure* route ``(p, r, s, v)``;
+- the *false but partially secure* route ``(p, q, m, v)`` — ``q``'s
+  signature is genuine, ``m``'s and ``v``'s are missing.
+
+If ``p`` follows the paper's rule (only fully-secure paths get
+preference) its ordinary tie-break keeps the honest route.  If ``p``
+prefers partially-secure paths, the attacker wins — a new attack vector
+that does not exist without S*BGP, which is exactly why the paper
+forbids that ranking (§2.2.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.protocol.attacks import forge_path_announcement
+from repro.protocol.router import ProtocolNetwork, SecurityMode
+from repro.protocol.rpki import RPKI, Prefix
+from repro.protocol.sbgp import sign_hop
+from repro.routing.policy import tie_hash
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackNetwork:
+    """The Figure-15 cast, plus the network ready to converge."""
+
+    graph: ASGraph
+    p: int
+    q: int
+    r: int
+    s: int
+    v: int
+    m: int
+    prefix: Prefix
+
+    def build_protocol_network(self, p_prefers_partial: bool) -> ProtocolNetwork:
+        """Assemble the protocol network with the attack injected."""
+        rpki = RPKI(seed=b"fig15")
+        # "suppose that only ASes p and q are secure" (App. B) — the
+        # victim v does not sign, so the honest path carries no
+        # attestations at all and ranks as plain insecure.
+        modes = {self.p: SecurityMode.FULL, self.q: SecurityMode.FULL}
+        prefer = {self.p} if p_prefers_partial else set()
+        net = ProtocolNetwork(self.graph, rpki, modes, prefer_partially_secure=prefer)
+        net.originate_prefix(self.v, self.prefix)
+        forged = forge_path_announcement(self.m, (self.m, self.v), self.prefix)
+        # The attacker signs its own hop toward q — the one genuine
+        # signature that makes the false path "partially secure".
+        rpki.register_as(self.m)
+        forged = dataclasses.replace(
+            forged,
+            attestations=(
+                sign_hop(rpki, self.m, self.prefix, (self.m, self.v), next_as=self.q),
+            ),
+        )
+        net.inject(self.m, forged)
+        return net
+
+
+def build_attack_network() -> AttackNetwork:
+    """Construct Figure 15 with the tie-break favouring the honest route.
+
+    The paper assumes "p's tiebreak algorithm prefers paths through r
+    over paths through q"; AS insertion order is chosen so the hash
+    tie-break agrees.
+    """
+    # candidate insertion orders for (p, q, r, s, v, m); indices follow
+    # insertion, so try until H(p, r) < H(p, q).
+    orders = [
+        ("p", "q", "r", "s", "v", "m"),
+        ("p", "r", "q", "s", "v", "m"),
+        ("q", "p", "r", "s", "v", "m"),
+        ("r", "p", "q", "s", "v", "m"),
+        ("s", "p", "q", "r", "v", "m"),
+        ("p", "q", "s", "r", "v", "m"),
+    ]
+    for order in orders:
+        index = {name: i for i, name in enumerate(order)}
+        if tie_hash(index["p"], index["r"]) < tie_hash(index["p"], index["q"]):
+            break
+    else:  # pragma: no cover - one of the orders satisfies the bit
+        raise RuntimeError("no insertion order favours the honest route")
+
+    asn = {name: 64500 + index[name] for name in index}
+    graph = ASGraph()
+    for name in order:
+        graph.add_as(asn[name])
+
+    # honest chain: v <- s <- r <- p  (each left one is the customer)
+    graph.add_customer_provider(provider=asn["s"], customer=asn["v"])
+    graph.add_customer_provider(provider=asn["r"], customer=asn["s"])
+    graph.add_customer_provider(provider=asn["p"], customer=asn["r"])
+    # attack chain: m <- q <- p ; m pretends a direct link m-v
+    graph.add_customer_provider(provider=asn["q"], customer=asn["m"])
+    graph.add_customer_provider(provider=asn["p"], customer=asn["q"])
+    graph.validate()
+
+    return AttackNetwork(
+        graph=graph,
+        p=asn["p"],
+        q=asn["q"],
+        r=asn["r"],
+        s=asn["s"],
+        v=asn["v"],
+        m=asn["m"],
+        prefix=Prefix("198.51.100.0", 24),
+    )

@@ -1,0 +1,74 @@
+"""The DIAMOND scenario (Figure 2, §5.1).
+
+Two ISPs compete for traffic toward a multihomed stub: a traffic
+source (e.g. a secure Tier-1 or content provider) has equally-good
+routes to the stub through both of them.  When one competitor deploys
+S*BGP, the stub becomes simplex-secure, the source's SecP tie-break
+moves its traffic onto the fully-secure route, and the other
+competitor is pressed to deploy too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class DiamondNetwork:
+    """A minimal DIAMOND: source Tier-1, two competing ISPs, one stub.
+
+    AS numbers:
+
+    - ``source``: the secure traffic source (early adopter), provider
+      of both competitors;
+    - ``left`` / ``right``: the competing ISPs;
+    - ``stub``: the multihomed stub customer of both;
+    - ``feeders``: stubs hanging off the source so that its subtree
+      carries weight.
+    """
+
+    graph: ASGraph
+    source: int
+    left: int
+    right: int
+    stub: int
+    feeders: tuple[int, ...]
+
+
+def build_diamond(num_feeders: int = 4, source_weight: float = 10.0) -> DiamondNetwork:
+    """Construct the Figure-2 competition structure.
+
+    ``source_weight`` is the traffic weight of the source AS (the
+    paper's sources are Tier-1s transiting large volumes or CPs
+    originating them); ``num_feeders`` extra unit-weight stubs behind
+    the source add transit volume along whichever route the source
+    picks.
+    """
+    graph = ASGraph()
+    source, left, right, stub = 1, 2, 3, 4
+    for asn in (source, left, right, stub):
+        graph.add_as(asn)
+    graph.add_customer_provider(provider=source, customer=left)
+    graph.add_customer_provider(provider=source, customer=right)
+    graph.add_customer_provider(provider=left, customer=stub)
+    graph.add_customer_provider(provider=right, customer=stub)
+
+    feeders = []
+    for k in range(num_feeders):
+        asn = 100 + k
+        graph.add_as(asn)
+        graph.add_customer_provider(provider=source, customer=asn)
+        feeders.append(asn)
+
+    graph.validate()
+    graph.set_weight(source, source_weight)
+    return DiamondNetwork(
+        graph=graph,
+        source=source,
+        left=left,
+        right=right,
+        stub=stub,
+        feeders=tuple(feeders),
+    )

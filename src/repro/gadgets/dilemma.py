@@ -1,0 +1,110 @@
+"""The per-link DILEMMA (§8.3, Theorem J.1, Figure 18).
+
+The NP-hardness of choosing *which links* to secure rests on a
+construction where one link pulls two revenue flows in opposite
+directions.  This gadget realises it around a focal ISP ``x`` and the
+single link ``x - up`` to its provider:
+
+- **flow A** (weight ``w_a``): a secure CP sends to ``x``'s stub.  With
+  the link active the fully-secure detour through ``up`` wins and the
+  traffic enters ``x`` on a *provider* edge (no revenue); with the link
+  disabled the CP's tie-break falls back to ``x``'s customer ``fb_a``
+  and the same traffic pays (the Fig-13 remorse mechanism, per-link);
+- **flow B** (weight ``w_b``): a second secure CP reaches a remote stub
+  *through* ``x`` and ``up``.  That route is fully secure only while
+  the link is active; disabling it sends the flow to an insecure
+  bypass, and ``x`` loses the customer revenue.
+
+So ``x`` earns ``w_a`` with the link off or ``w_b`` with it on — never
+both.  Per-link choices therefore interact through shared flows, which
+is the engine of the set-packing reduction behind Theorem J.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.routing.policy import tie_hash
+from repro.topology.graph import ASGraph
+
+_NAMES = ["x", "up", "cp_a", "cp_b", "fb_a", "fb_b", "z_b", "s_a", "d_b"]
+
+
+def _constraints_hold(index: dict[str, int]) -> bool:
+    """Fallbacks must win the security-free hash tie-breaks."""
+    return (
+        tie_hash(index["cp_a"], index["fb_a"]) < tie_hash(index["cp_a"], index["up"])
+        and tie_hash(index["cp_b"], index["fb_b"]) < tie_hash(index["cp_b"], index["x"])
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DilemmaNetwork:
+    """The built gadget plus its cast (AS numbers)."""
+
+    graph: ASGraph
+    x: int
+    up: int
+    cp_a: int
+    cp_b: int
+    fb_a: int
+    fb_b: int
+    s_a: int
+    d_b: int
+    w_a: float
+    w_b: float
+
+    @property
+    def secure_asns(self) -> tuple[int, ...]:
+        """Nodes that run S*BGP (stubs get it via simplex as usual)."""
+        return (self.x, self.up, self.cp_a, self.cp_b)
+
+
+def build_dilemma(w_a: float = 100.0, w_b: float = 60.0, max_tries: int = 5000) -> DilemmaNetwork:
+    """Construct the per-link dilemma (two flows, one contested link)."""
+    rng = random.Random(18)
+    order = list(_NAMES)
+    for _ in range(max_tries):
+        index = {name: pos for pos, name in enumerate(order)}
+        if _constraints_hold(index):
+            break
+        rng.shuffle(order)
+    else:  # pragma: no cover
+        raise RuntimeError("could not satisfy tie-break constraints")
+
+    asn = {name: 201 + index[name] for name in index}
+    graph = ASGraph(cp_asns=[asn["cp_a"], asn["cp_b"]])
+    for name in order:
+        graph.add_as(asn[name])
+
+    def cp_edge(provider: str, customer: str) -> None:
+        graph.add_customer_provider(provider=asn[provider], customer=asn[customer])
+
+    cp_edge("up", "x")        # the contested link
+    cp_edge("x", "s_a")       # x's stub (flow A's destination)
+    cp_edge("x", "fb_a")      # flow A's paying fallback
+    cp_edge("fb_a", "cp_a")   # cp_a multihomed: fb_a and up
+    cp_edge("up", "cp_a")
+    cp_edge("x", "cp_b")      # cp_b multihomed: x and fb_b
+    cp_edge("fb_b", "cp_b")
+    cp_edge("z_b", "fb_b")    # insecure bypass for flow B
+    cp_edge("up", "d_b")      # flow B's destination, multihomed
+    cp_edge("z_b", "d_b")
+
+    graph.validate()
+    graph.set_weight(asn["cp_a"], w_a)
+    graph.set_weight(asn["cp_b"], w_b)
+    return DilemmaNetwork(
+        graph=graph,
+        x=asn["x"],
+        up=asn["up"],
+        cp_a=asn["cp_a"],
+        cp_b=asn["cp_b"],
+        fb_a=asn["fb_a"],
+        fb_b=asn["fb_b"],
+        s_a=asn["s_a"],
+        d_b=asn["d_b"],
+        w_a=w_a,
+        w_b=w_b,
+    )

@@ -1,0 +1,164 @@
+"""Deployment oscillation: the CHICKEN construction (App. F / K.5).
+
+The paper proves that under the incoming utility model the deployment
+process need not terminate (Theorem 7.1; deciding termination is
+PSPACE-complete).  The engine of that proof is the CHICKEN gadget
+(Figure 21): two strategic ISPs, 10 and 20, whose incoming-utility
+bi-matrix is the game of chicken,
+
+    ============  ==========  ==========
+    (u10, u20)      20 ON       20 OFF
+    ============  ==========  ==========
+    10 ON         (m+e, e)    (2m+e, m)
+    10 OFF        (2m, m+e)   (2m, m)
+    ============  ==========  ==========
+
+so that from (OFF, OFF) both want ON, and from (ON, ON) both want OFF.
+Under simultaneous myopic best response the pair cycles forever:
+(OFF,OFF) -> (ON,ON) -> (OFF,OFF) -> ...
+
+This module reconstructs that gadget on a concrete AS graph.  The
+paper's construction fixes tie-breaking "in favor of the lowest AS
+number"; our engine uses the hash tie-break of Appendix A, so the
+builder searches node-insertion orders until the four required hash
+orderings hold (they are satisfiable by ~1/16 of random orders).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.routing.policy import tie_hash
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class ChickenNetwork:
+    """The Figure-21 chicken gadget, instantiated.
+
+    ``node10`` / ``node20`` are the strategic ISPs; ``fixed_on`` are
+    the scaffold ASes pinned secure (early adopters), ``fixed_off``
+    the scaffold ASes that must stay insecure (excluded from play via
+    the player restriction).
+    """
+
+    graph: ASGraph
+    node10: int
+    node20: int
+    fixed_on: tuple[int, ...]
+    fixed_off: tuple[int, ...]
+    local1: int
+    local2: int
+    cross1: int
+    cross2: int
+    d1: int
+    d2: int
+    m: float
+    eps: float
+
+    @property
+    def players(self) -> tuple[int, int]:
+        return (self.node10, self.node20)
+
+
+# symbolic node names used during construction
+_NAMES = [
+    "n10", "n20", "n1000", "n2000", "n6", "n3",
+    "n1", "n4", "n2", "n5",
+    "d1", "d2", "local1", "local2", "cross1", "cross2",
+]
+
+
+def _constraints_hold(index: dict[str, int]) -> bool:
+    """The four tie-break orderings the construction needs.
+
+    C1/C2: secure Local trees must prefer the strategic node over the
+    always-secure alternative when both routes are secure;
+    C3/C4: insecure Cross traffic must fall back to the fixed-OFF
+    route, not the strategic one.
+    """
+    h = tie_hash
+    return (
+        h(index["local1"], index["n10"]) < h(index["local1"], index["n1000"])
+        and h(index["local2"], index["n20"]) < h(index["local2"], index["n2000"])
+        and h(index["cross1"], index["n1"]) < h(index["cross1"], index["n10"])
+        and h(index["cross2"], index["n2"]) < h(index["cross2"], index["n3"])
+    )
+
+
+def build_chicken(m: float = 50.0, eps: float = 1.0, max_tries: int = 10_000) -> ChickenNetwork:
+    """Construct the chicken gadget (``m >> eps``, per Lemma K.4)."""
+    if m <= 2 * eps:
+        raise ValueError(f"need m >> eps for the chicken payoffs, got m={m}, eps={eps}")
+
+    rng = random.Random(2011)
+    order = list(_NAMES)
+    for attempt in range(max_tries):
+        index = {name: pos for pos, name in enumerate(order)}
+        if _constraints_hold(index):
+            break
+        rng.shuffle(order)
+    else:  # pragma: no cover - probabilistically unreachable
+        raise RuntimeError("could not satisfy tie-break constraints")
+
+    # AS numbers: 101 + insertion position keeps them readable.
+    asn = {name: 101 + pos for pos, name in enumerate(order)}
+    graph = ASGraph()
+    for name in order:
+        graph.add_as(asn[name])
+
+    def cp_edge(provider: str, customer: str) -> None:
+        graph.add_customer_provider(provider=asn[provider], customer=asn[customer])
+
+    def peering(a: str, b: str) -> None:
+        graph.add_peering(asn[a], asn[b])
+
+    # strategic spine: 20 is a provider of 10 (the gadget is asymmetric)
+    cp_edge("n20", "n10")
+    # destinations and local trees (always simplex-secure via 1000/2000)
+    cp_edge("n10", "d1")
+    cp_edge("n1000", "d1")
+    cp_edge("n20", "d2")
+    cp_edge("n2000", "d2")
+    cp_edge("n10", "local1")
+    cp_edge("n1000", "local1")
+    cp_edge("n20", "local2")
+    cp_edge("n2000", "local2")
+    # Cross1 -> d2: secure route (cross1, 10, 6, 20, d2), fallback
+    # (cross1, 1, 4, 20, d2)
+    peering("n6", "n10")
+    cp_edge("n6", "n20")
+    cp_edge("n10", "cross1")
+    cp_edge("n1", "cross1")
+    cp_edge("n4", "n1")
+    cp_edge("n20", "n4")
+    # Cross2 -> d1: secure route (cross2, 3, 20, 10, d1), fallback
+    # (cross2, 2, 5, 10, d1)
+    peering("n3", "n20")
+    cp_edge("n3", "cross2")
+    cp_edge("n2", "cross2")
+    cp_edge("n5", "n2")
+    cp_edge("n10", "n5")
+
+    graph.validate()
+    graph.set_weight(asn["local1"], eps)
+    graph.set_weight(asn["local2"], eps)
+    graph.set_weight(asn["cross1"], m)
+    graph.set_weight(asn["cross2"], 2 * m)
+
+    return ChickenNetwork(
+        graph=graph,
+        node10=asn["n10"],
+        node20=asn["n20"],
+        fixed_on=(asn["n3"], asn["n6"], asn["n1000"], asn["n2000"]),
+        fixed_off=(asn["n1"], asn["n2"], asn["n4"], asn["n5"]),
+        local1=asn["local1"],
+        local2=asn["local2"],
+        cross1=asn["cross1"],
+        cross2=asn["cross2"],
+        d1=asn["d1"],
+        d2=asn["d2"],
+        m=m,
+        eps=eps,
+    )

@@ -1,0 +1,20 @@
+"""Map-reduce substrate (laptop-scale stand-in for DryadLINQ, App. C.3)."""
+
+from repro.parallel.engine import (
+    MapReduceEngine,
+    ProcessEngine,
+    SerialEngine,
+    default_engine,
+    parallel_warm_cache,
+)
+from repro.parallel.partition import chunk, partition
+
+__all__ = [
+    "MapReduceEngine",
+    "ProcessEngine",
+    "SerialEngine",
+    "chunk",
+    "default_engine",
+    "parallel_warm_cache",
+    "partition",
+]

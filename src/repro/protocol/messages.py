@@ -1,0 +1,61 @@
+"""BGP announcement messages carried by the protocol simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.protocol.rpki import Prefix
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteAttestation:
+    """One S-BGP signature: ``signer`` vouches it sent ``path`` toward
+    ``next_as`` for ``prefix`` (Section 2.1).
+
+    The signed payload binds the prefix, the path *as seen by the
+    signer*, and the neighbor the announcement was addressed to, which
+    is what prevents both path truncation and splicing a signed segment
+    into another announcement.
+    """
+
+    signer: int
+    path: tuple[int, ...]
+    next_as: int
+    signature: bytes
+
+    @staticmethod
+    def payload(prefix: Prefix, path: tuple[int, ...], next_as: int) -> bytes:
+        parts = [str(prefix), ",".join(map(str, path)), str(next_as)]
+        return "|".join(parts).encode()
+
+
+@dataclasses.dataclass(frozen=True)
+class Announcement:
+    """A BGP announcement for ``prefix`` with AS path ``path``.
+
+    ``path[0]`` is the most recent sender (the neighbor the receiver
+    heard it from); ``path[-1]`` is the origin AS.  ``attestations``
+    holds the S-BGP signature chain (possibly partial if some ASes on
+    the path do not run S*BGP).
+    """
+
+    prefix: Prefix
+    path: tuple[int, ...]
+    attestations: tuple[RouteAttestation, ...] = ()
+
+    @property
+    def origin(self) -> int:
+        return self.path[-1]
+
+    @property
+    def sender(self) -> int:
+        return self.path[0]
+
+    def extended(self, asn: int, attestation: RouteAttestation | None = None) -> "Announcement":
+        """The announcement as propagated by ``asn`` one hop further."""
+        atts = self.attestations if attestation is None else self.attestations + (attestation,)
+        return Announcement(prefix=self.prefix, path=(asn,) + self.path, attestations=atts)
+
+    def contains_loop(self, asn: int) -> bool:
+        """BGP loop detection: would ``asn`` appear twice on the path?"""
+        return asn in self.path

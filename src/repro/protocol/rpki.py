@@ -1,0 +1,139 @@
+"""Simulated RPKI: the cryptographic root of trust (Section 1, [18]).
+
+The RPKI authoritatively maps ASes to their IP prefixes and public
+keys.  This module simulates it: "keys" are random secrets held in the
+registry and "signatures" are HMAC-SHA256 tags.  That is *not* a real
+PKI — there is no asymmetry — but it is behaviourally equivalent for a
+simulator: only the key holder (or the trusted registry, standing in
+for certificate verification) can produce a tag that verifies, so
+forged announcements fail validation exactly where they would with real
+signatures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import os
+
+
+@dataclasses.dataclass(frozen=True)
+class Prefix:
+    """An IP prefix, e.g. ``Prefix("203.0.113.0", 24)``."""
+
+    network: str
+    length: int
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ROA:
+    """Route Origin Authorization: ``asn`` may originate ``prefix``."""
+
+    prefix: Prefix
+    asn: int
+
+
+class RPKIError(Exception):
+    """Base error for RPKI operations."""
+
+
+class UnknownKeyError(RPKIError, KeyError):
+    """An AS has no registered key."""
+
+    def __init__(self, asn: int):
+        super().__init__(f"AS {asn} has no key registered in the RPKI")
+        self.asn = asn
+
+
+class RPKI:
+    """Registry of per-AS keys and route-origin authorizations.
+
+    A deterministic ``seed`` makes key material reproducible across
+    runs, which simulations and tests rely on.
+    """
+
+    def __init__(self, seed: bytes | None = None):
+        self._seed = seed if seed is not None else os.urandom(16)
+        self._keys: dict[int, bytes] = {}
+        self._roas: dict[Prefix, set[int]] = {}
+        self._delegations: dict[int, set[int]] = {}
+
+    # -- keys ----------------------------------------------------------
+    def register_as(self, asn: int) -> None:
+        """Create key material for ``asn`` (idempotent)."""
+        if asn not in self._keys:
+            self._keys[asn] = hashlib.sha256(self._seed + str(asn).encode()).digest()
+
+    def has_key(self, asn: int) -> bool:
+        """True if ``asn`` participates in the RPKI."""
+        return asn in self._keys
+
+    def _key(self, asn: int) -> bytes:
+        try:
+            return self._keys[asn]
+        except KeyError:
+            raise UnknownKeyError(asn) from None
+
+    def sign(self, asn: int, message: bytes) -> bytes:
+        """Produce ``asn``'s signature over ``message``."""
+        return hmac.new(self._key(asn), message, hashlib.sha256).digest()
+
+    def delegate_key(self, owner: int, delegate: int) -> None:
+        """``owner`` hands its signing key to ``delegate``.
+
+        The §2.2.1 footnote's shortcut: a stub lets its ISP sign for it
+        ("a good first step on the path to deployment" but "ceding
+        control of cryptographic keys comes at the cost of reduced
+        security").  Afterwards :meth:`sign_for` lets the delegate
+        produce signatures indistinguishable from the owner's — which
+        is precisely the reduced security: a malicious delegate can
+        forge *valid* announcements in the owner's name.
+        """
+        self.register_as(owner)
+        self.register_as(delegate)
+        self._delegations.setdefault(owner, set()).add(delegate)
+
+    def revoke_delegation(self, owner: int, delegate: int) -> None:
+        """Remove a delegation (idempotent)."""
+        self._delegations.get(owner, set()).discard(delegate)
+
+    def is_delegate(self, owner: int, delegate: int) -> bool:
+        """True if ``delegate`` may sign on behalf of ``owner``."""
+        return delegate in self._delegations.get(owner, ())
+
+    def sign_for(self, delegate: int, owner: int, message: bytes) -> bytes:
+        """Produce ``owner``'s signature using a delegated key.
+
+        Raises :class:`PermissionError` if no delegation exists.
+        """
+        if not self.is_delegate(owner, delegate):
+            raise PermissionError(
+                f"AS {delegate} holds no delegation from AS {owner}"
+            )
+        return self.sign(owner, message)
+
+    def verify(self, asn: int, message: bytes, signature: bytes) -> bool:
+        """Check a signature; False for unknown ASes or bad tags."""
+        if asn not in self._keys:
+            return False
+        expected = hmac.new(self._keys[asn], message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature)
+
+    # -- ROAs ----------------------------------------------------------
+    def issue_roa(self, prefix: Prefix, asn: int) -> ROA:
+        """Authorize ``asn`` to originate ``prefix``."""
+        self.register_as(asn)
+        self._roas.setdefault(prefix, set()).add(asn)
+        return ROA(prefix=prefix, asn=asn)
+
+    def origin_valid(self, prefix: Prefix, asn: int) -> bool:
+        """RPKI origin validation: is ``asn`` authorized for ``prefix``?"""
+        return asn in self._roas.get(prefix, ())
+
+    def has_roa(self, prefix: Prefix) -> bool:
+        """True if any ROA covers ``prefix``."""
+        return prefix in self._roas

@@ -1,0 +1,93 @@
+"""S-BGP path validation: signing and verifying route attestations.
+
+S-BGP (Section 2.1) lets an AS receiving an announcement
+``a1 a2 ... ak`` validate that *every* AS on the path actually sent it.
+Each AS signs the (prefix, path-so-far, intended receiver) triple; the
+chain is valid only if every hop's signature checks out, which is why a
+path is only *secure* when every AS on it deployed S*BGP (§2.2.2).
+
+Simplex S-BGP (§2.2.1) signs only a stub's own-prefix originations and
+never validates — the stub-side cost reduction the deployment strategy
+depends on.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.messages import Announcement, RouteAttestation
+from repro.protocol.rpki import RPKI, Prefix
+
+
+def sign_hop(
+    rpki: RPKI, signer: int, prefix: Prefix, path: tuple[int, ...], next_as: int
+) -> RouteAttestation:
+    """Create ``signer``'s attestation for forwarding ``path`` to ``next_as``.
+
+    ``path`` must start with ``signer`` (the path as the receiver will
+    see it from this hop).
+    """
+    if not path or path[0] != signer:
+        raise ValueError(f"path {path} does not start with signer AS {signer}")
+    payload = RouteAttestation.payload(prefix, path, next_as)
+    return RouteAttestation(
+        signer=signer, path=path, next_as=next_as, signature=rpki.sign(signer, payload)
+    )
+
+
+def originate(rpki: RPKI, origin: int, prefix: Prefix, next_as: int) -> Announcement:
+    """Origin announcement of ``prefix`` by ``origin`` toward ``next_as``."""
+    att = sign_hop(rpki, origin, prefix, (origin,), next_as)
+    return Announcement(prefix=prefix, path=(origin,), attestations=(att,))
+
+
+def forward(
+    rpki: RPKI,
+    asn: int,
+    announcement: Announcement,
+    next_as: int,
+    sign: bool = True,
+) -> Announcement:
+    """Propagate ``announcement`` one hop through ``asn`` toward ``next_as``.
+
+    ``sign=False`` models an AS that has not deployed S*BGP (or a
+    simplex stub forwarding a foreign prefix): the path grows but no
+    attestation is added, breaking the chain.
+    """
+    new_path = (asn,) + announcement.path
+    attestation = None
+    if sign:
+        payload = RouteAttestation.payload(announcement.prefix, new_path, next_as)
+        attestation = RouteAttestation(
+            signer=asn,
+            path=new_path,
+            next_as=next_as,
+            signature=rpki.sign(asn, payload),
+        )
+    return announcement.extended(asn, attestation)
+
+
+def validated_signers(rpki: RPKI, announcement: Announcement, receiver: int) -> set[int]:
+    """ASes on the path whose attestation verifies for ``receiver``.
+
+    For position ``j`` on ``path`` the expected attestation covers the
+    suffix ``path[j:]`` addressed to ``path[j-1]`` (or ``receiver`` for
+    the first hop).
+    """
+    path = announcement.path
+    by_signer = {a.signer: a for a in announcement.attestations}
+    valid: set[int] = set()
+    for j, asn in enumerate(path):
+        att = by_signer.get(asn)
+        if att is None:
+            continue
+        expected_next = receiver if j == 0 else path[j - 1]
+        if att.path != path[j:] or att.next_as != expected_next:
+            continue
+        payload = RouteAttestation.payload(announcement.prefix, path[j:], expected_next)
+        if rpki.verify(asn, payload, att.signature):
+            valid.add(asn)
+    return valid
+
+
+def validate_path(rpki: RPKI, announcement: Announcement, receiver: int) -> bool:
+    """Full S-BGP validation: every AS on the path signed correctly."""
+    return validated_signers(rpki, announcement, receiver) == set(announcement.path)

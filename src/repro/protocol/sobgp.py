@@ -1,0 +1,86 @@
+"""soBGP topology validation (Section 2.1).
+
+soBGP provides a weaker guarantee than S-BGP: an AS validates that a
+received path *physically exists*, using a database of link
+certificates that neighboring ASes mutually authenticate.  An attacker
+can still announce an existing-but-unused path, but cannot fabricate
+links.
+
+Simplex soBGP is done entirely offline: a stub certifies its links once
+and never touches its routers (§2.2.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.protocol.messages import Announcement
+from repro.protocol.rpki import RPKI
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkCertificate:
+    """Mutually-signed certificate that link ``(a, b)`` exists."""
+
+    a: int
+    b: int
+    signature_a: bytes
+    signature_b: bytes
+
+    @staticmethod
+    def payload(a: int, b: int) -> bytes:
+        lo, hi = sorted((a, b))
+        return f"link:{lo}-{hi}".encode()
+
+
+class TopologyDatabase:
+    """The shared soBGP certificate database."""
+
+    def __init__(self, rpki: RPKI):
+        self._rpki = rpki
+        self._links: dict[tuple[int, int], LinkCertificate] = {}
+
+    @staticmethod
+    def _key(a: int, b: int) -> tuple[int, int]:
+        return (min(a, b), max(a, b))
+
+    def certify_link(self, a: int, b: int) -> LinkCertificate:
+        """Both endpoints sign the link into the database."""
+        payload = LinkCertificate.payload(a, b)
+        cert = LinkCertificate(
+            a=a,
+            b=b,
+            signature_a=self._rpki.sign(a, payload),
+            signature_b=self._rpki.sign(b, payload),
+        )
+        self._links[self._key(a, b)] = cert
+        return cert
+
+    def add_certificate(self, cert: LinkCertificate) -> bool:
+        """Insert an externally-produced certificate after verifying it.
+
+        Returns False (and stores nothing) when either signature is bad
+        — this is what stops an attacker fabricating links.
+        """
+        payload = LinkCertificate.payload(cert.a, cert.b)
+        if not (
+            self._rpki.verify(cert.a, payload, cert.signature_a)
+            and self._rpki.verify(cert.b, payload, cert.signature_b)
+        ):
+            return False
+        self._links[self._key(cert.a, cert.b)] = cert
+        return True
+
+    def link_certified(self, a: int, b: int) -> bool:
+        """True if a valid certificate for ``(a, b)`` is in the database."""
+        return self._key(a, b) in self._links
+
+    def validate_path(self, announcement: Announcement) -> bool:
+        """Topology validation: every consecutive link is certified and
+        the origin is ROA-authorized for the prefix."""
+        path = announcement.path
+        if not self._rpki.origin_valid(announcement.prefix, announcement.origin):
+            return False
+        return all(
+            self.link_certified(path[i], path[i + 1]) for i in range(len(path) - 1)
+        )

@@ -1,0 +1,75 @@
+"""BGP policy-routing substrate: route classes, tiebreak sets, trees."""
+
+from repro.routing.cache import POLICIES, RoutingCache
+from repro.routing.fast_tree import (
+    RoutingTree,
+    compute_tree,
+    compute_tree_scalar,
+    subtree_weights,
+)
+from repro.routing.flows import (
+    TrafficShift,
+    deployment_traffic_shift,
+    link_loads,
+    top_loaded_links,
+    traffic_shift,
+)
+from repro.routing.paths import as_path, path_is_secure, transit_nodes
+from repro.routing.policy import RouteClass, exportable_to, tie_hash, tie_hash_array
+from repro.routing.reference import (
+    ConvergenceError,
+    SelectedRoute,
+    secure_flags_from_selection,
+    simulate_bgp,
+)
+from repro.routing.tiebreak import (
+    TiebreakStats,
+    collect_tiebreak_stats,
+    mean_path_length,
+    security_sensitive_decision_fraction,
+)
+from repro.routing.tree import (
+    DestRouting,
+    RouteInfo,
+    compute_dest_routing,
+    route_classes_and_lengths,
+)
+from repro.routing.variants import (
+    compute_dest_routing_sp_first,
+    restrict_to_primary,
+)
+
+__all__ = [
+    "ConvergenceError",
+    "DestRouting",
+    "POLICIES",
+    "RouteClass",
+    "RouteInfo",
+    "RoutingCache",
+    "RoutingTree",
+    "SelectedRoute",
+    "TiebreakStats",
+    "TrafficShift",
+    "as_path",
+    "collect_tiebreak_stats",
+    "compute_dest_routing",
+    "compute_dest_routing_sp_first",
+    "compute_tree",
+    "compute_tree_scalar",
+    "deployment_traffic_shift",
+    "exportable_to",
+    "link_loads",
+    "mean_path_length",
+    "path_is_secure",
+    "restrict_to_primary",
+    "route_classes_and_lengths",
+    "secure_flags_from_selection",
+    "security_sensitive_decision_fraction",
+    "simulate_bgp",
+    "subtree_weights",
+    "tie_hash",
+    "tie_hash_array",
+    "top_loaded_links",
+    "traffic_shift",
+    "transit_nodes",
+]

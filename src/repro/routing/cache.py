@@ -1,0 +1,116 @@
+"""Cache of state-independent routing structures for a fixed graph.
+
+Observation C.1 makes everything in :class:`DestRouting` reusable across
+deployment states, so a simulation computes it once per destination and
+keeps it for every round and every projected state.  The cache also
+exposes the dense class matrix (``cls_matrix[d, i]`` = route class of
+node ``i`` toward destination ``d``) that the projection engine uses to
+filter destinations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.routing.compiled import CompiledGraph
+from repro.routing.tree import DestRouting, compute_dest_routing
+from repro.topology.graph import ASGraph
+
+#: routing-policy registry: name -> compute function.  "gao-rexford" is
+#: the Appendix-A model; "sp-first" is the §8.3 shortest-path-first
+#: variant (see :mod:`repro.routing.variants`).
+POLICIES: dict[str, Callable[..., DestRouting]] = {}
+
+
+def _register_policies() -> None:
+    from repro.routing.variants import compute_dest_routing_sp_first
+
+    POLICIES.setdefault("gao-rexford", compute_dest_routing)
+    POLICIES.setdefault("sp-first", compute_dest_routing_sp_first)
+
+
+class RoutingCache:
+    """Lazily computed :class:`DestRouting` per destination.
+
+    Parameters
+    ----------
+    graph:
+        The (already final) AS graph.  Mutating the graph after creating
+        a cache invalidates it; create a new cache instead.
+    destinations:
+        Restrict the cache to these destination indices (default: all).
+        Experiments on large graphs may sample destinations; utilities
+        are then computed over the sampled destination set only.
+    policy:
+        Routing policy name from :data:`POLICIES` ("gao-rexford"
+        default, "sp-first" for the §8.3 variant).
+    transform:
+        Optional post-processor applied to each computed
+        :class:`DestRouting` (e.g. the sticky-primary restriction of
+        :func:`repro.routing.variants.restrict_to_primary`).
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        destinations: list[int] | None = None,
+        policy: str = "gao-rexford",
+        transform: Callable[[DestRouting], DestRouting] | None = None,
+    ):
+        _register_policies()
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {sorted(POLICIES)}")
+        self.policy = policy
+        self.transform = transform
+        self.graph = graph
+        self.compiled = CompiledGraph.from_graph(graph)
+        self.destinations = list(range(graph.n)) if destinations is None else list(destinations)
+        self._dest_pos = {d: k for k, d in enumerate(self.destinations)}
+        self._routing: dict[int, DestRouting] = {}
+        self._cls_matrix: np.ndarray | None = None
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the underlying graph."""
+        return self.graph.n
+
+    def dest_routing(self, dest: int) -> DestRouting:
+        """The :class:`DestRouting` for ``dest`` (computed on first use)."""
+        dr = self._routing.get(dest)
+        if dr is None:
+            dr = POLICIES[self.policy](self.graph, dest, self.compiled)
+            if self.transform is not None:
+                dr = self.transform(dr)
+            self._routing[dest] = dr
+        return dr
+
+    def warm(self) -> None:
+        """Precompute every destination in ``destinations``."""
+        for dest in self.destinations:
+            self.dest_routing(dest)
+
+    @property
+    def cls_matrix(self) -> np.ndarray:
+        """int8 matrix ``[len(destinations), n]`` of route classes.
+
+        Row ``k`` corresponds to ``destinations[k]``.
+        """
+        if self._cls_matrix is None:
+            mat = np.empty((len(self.destinations), self.graph.n), dtype=np.int8)
+            for k, dest in enumerate(self.destinations):
+                mat[k] = self.dest_routing(dest).cls
+            self._cls_matrix = mat
+        return self._cls_matrix
+
+    def position_of(self, dest: int) -> int | None:
+        """Row index of ``dest`` within ``destinations`` (None if absent)."""
+        return self._dest_pos.get(dest)
+
+    def dest_pos(self, dest: int) -> int:
+        """Row index of ``dest`` within ``destinations``."""
+        try:
+            return self._dest_pos[dest]
+        except KeyError:
+            raise KeyError(f"destination {dest} not in cache") from None

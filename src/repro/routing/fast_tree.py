@@ -1,0 +1,181 @@
+"""The fast routing-tree algorithm (Appendix C.2), vectorised.
+
+Given the state-independent :class:`~repro.routing.tree.DestRouting`
+structure and the security flags of the current deployment state, this
+module resolves each node's actual next hop and whether its chosen path
+is fully secure, processing nodes level-by-level in ascending path
+length exactly as the paper describes:
+
+    "we start at the destination d and proceed through each node i in
+    ascending order of path length.  For each node i we determine (a)
+    which AS in i's tiebreak set i chooses as its next hop, and (b)
+    whether i has a fully-secure path, by checking if (1) i is secure
+    and (2) there are nodes in i's tiebreak set with a secure path."
+
+Within one level all nodes are independent, so each level is resolved
+with numpy segment operations; the Python-level loop runs only over the
+handful of path-length levels.  A scalar implementation with identical
+semantics is kept for differential testing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.routing.policy import POSITION_BITS, tie_hash_array
+from repro.routing.tree import DestRouting
+
+_POS_MASK = np.uint64((1 << POSITION_BITS) - 1)
+_HASH_MASK = ~_POS_MASK
+_BLOCKED = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclasses.dataclass
+class RoutingTree:
+    """Resolved routing tree toward one destination in one state."""
+
+    dest: int
+    choice: np.ndarray  # int32[n]; next hop, -1 for dest/unreachable
+    secure: np.ndarray  # bool[n]; True iff the node's full chosen path is secure
+    #: bool[n]; True iff some tiebreak candidate offers a secure path.
+    #: This is the signal the projection engine uses to filter
+    #: destinations a flip could possibly affect (Appendix C.4).
+    any_secure_candidate: np.ndarray = dataclasses.field(default=None)  # type: ignore[assignment]
+
+    def path_from(self, source: int, max_hops: int = 64) -> list[int]:
+        """Node-index path ``source -> ... -> dest`` (empty if unreachable)."""
+        if source != self.dest and self.choice[source] < 0:
+            return []
+        path = [source]
+        node = source
+        while node != self.dest:
+            node = int(self.choice[node])
+            path.append(node)
+            if len(path) > max_hops:
+                raise RuntimeError("routing tree contains a cycle")
+        return path
+
+
+def compute_tree(
+    dr: DestRouting,
+    node_secure: np.ndarray,
+    breaks_ties: np.ndarray,
+) -> RoutingTree:
+    """Resolve next hops and path security for every node (vectorised).
+
+    Parameters
+    ----------
+    dr:
+        Precomputed structure for the destination.
+    node_secure:
+        bool[n]; True where the AS has deployed (full or simplex) S*BGP.
+    breaks_ties:
+        bool[n]; True where the AS applies the SecP criterion.  Secure
+        ISPs always do; stubs only when the simulation assumes so
+        (§6.7); insecure ASes never do (callers pass
+        ``node_secure & policy``).
+    """
+    n = len(dr.cls)
+    choice = np.full(n, -1, dtype=np.int32)
+    secure = np.zeros(n, dtype=bool)
+    any_secure = np.zeros(n, dtype=bool)
+    order, indptr, cands = dr.order, dr.indptr, dr.cands
+    levels = dr.level_starts
+
+    secure[dr.dest] = node_secure[dr.dest]
+
+    for level in range(1, len(levels) - 1):
+        lo, hi = int(levels[level]), int(levels[level + 1])
+        if lo == hi:
+            continue
+        nodes = order[lo:hi]
+        seg_lo, seg_hi = int(indptr[lo]), int(indptr[hi])
+        c = cands[seg_lo:seg_hi]
+        starts = (indptr[lo:hi] - seg_lo).astype(np.int64)
+        csec = secure[c]
+
+        any_sec = np.logical_or.reduceat(csec, starts)
+        any_secure[nodes] = any_sec
+        use_sec = node_secure[nodes] & breaks_ties[nodes] & any_sec
+
+        sizes = (indptr[lo + 1:hi + 1] - indptr[lo:hi]).astype(np.int64)
+        row_of_edge = np.repeat(np.arange(hi - lo, dtype=np.int64), sizes)
+        pos = np.arange(len(c), dtype=np.uint64) - starts[row_of_edge].astype(np.uint64)
+
+        hkey = tie_hash_array(
+            np.repeat(nodes.astype(np.uint64), sizes), c.astype(np.uint64)
+        )
+        hkey = (hkey & _HASH_MASK) | pos
+        allowed = csec | ~use_sec[row_of_edge]
+        key = np.where(allowed, hkey, _BLOCKED)
+
+        kmin = np.minimum.reduceat(key, starts)
+        chosen_rel = starts + (kmin & _POS_MASK).astype(np.int64)
+        choice[nodes] = c[chosen_rel]
+        secure[nodes] = node_secure[nodes] & csec[chosen_rel]
+
+    return RoutingTree(
+        dest=dr.dest, choice=choice, secure=secure, any_secure_candidate=any_secure
+    )
+
+
+def compute_tree_scalar(
+    dr: DestRouting,
+    node_secure: np.ndarray,
+    breaks_ties: np.ndarray,
+) -> RoutingTree:
+    """Reference scalar implementation of :func:`compute_tree`."""
+    n = len(dr.cls)
+    choice = np.full(n, -1, dtype=np.int32)
+    secure = np.zeros(n, dtype=bool)
+    any_secure = np.zeros(n, dtype=bool)
+    secure[dr.dest] = node_secure[dr.dest]
+    order, indptr, cands = dr.order, dr.indptr, dr.cands
+
+    for row in range(1, len(order)):
+        i = int(order[row])
+        cs = cands[indptr[row]:indptr[row + 1]]
+        pool = cs
+        secure_cs = [c for c in cs if secure[c]]
+        any_secure[i] = bool(secure_cs)
+        if node_secure[i] and breaks_ties[i] and secure_cs:
+            pool = secure_cs
+        keys = tie_hash_array(
+            np.full(len(pool), i, dtype=np.uint64),
+            np.asarray(pool, dtype=np.uint64),
+        )
+        # replicate the vectorised collision rule: position breaks hash ties
+        best_pos = None
+        best_key = None
+        pos_by_cand = {int(c): p for p, c in enumerate(cs)}
+        for c, h in zip(pool, keys):
+            k = (int(h) & ~((1 << POSITION_BITS) - 1)) | pos_by_cand[int(c)]
+            if best_key is None or k < best_key:
+                best_key, best_pos = k, int(c)
+        choice[i] = best_pos
+        secure[i] = bool(node_secure[i] and secure[best_pos])
+    return RoutingTree(
+        dest=dr.dest, choice=choice, secure=secure, any_secure_candidate=any_secure
+    )
+
+
+def subtree_weights(dr: DestRouting, tree: RoutingTree, weights: np.ndarray) -> np.ndarray:
+    """Weight of the subtree routing *through* each node (excluding itself).
+
+    ``W[v] = sum of w_i over nodes i != v whose path to the destination
+    traverses v``, the quantity the paper's utility definitions sum
+    (Section 3.3; the worked example excludes the ISP's own weight).
+    """
+    n = len(dr.cls)
+    w = np.zeros(n, dtype=np.float64)
+    order, levels = dr.order, dr.level_starts
+    for level in range(len(levels) - 2, 0, -1):
+        lo, hi = int(levels[level]), int(levels[level + 1])
+        if lo == hi:
+            continue
+        nodes = order[lo:hi]
+        parents = tree.choice[nodes]
+        np.add.at(w, parents, w[nodes] + weights[nodes])
+    return w

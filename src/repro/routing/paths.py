@@ -1,0 +1,26 @@
+"""Path reconstruction helpers over resolved routing trees."""
+
+from __future__ import annotations
+
+from repro.routing.fast_tree import RoutingTree
+from repro.topology.graph import ASGraph
+
+
+def as_path(graph: ASGraph, tree: RoutingTree, source_asn: int) -> list[int]:
+    """AS-number path from ``source_asn`` to the tree's destination.
+
+    Returns an empty list when the source has no route.
+    """
+    idx_path = tree.path_from(graph.index(source_asn))
+    return [graph.asn(i) for i in idx_path]
+
+
+def path_is_secure(tree: RoutingTree, source: int) -> bool:
+    """True iff ``source``'s full chosen path is secure (dense index)."""
+    return bool(tree.secure[source])
+
+
+def transit_nodes(tree: RoutingTree, source: int, dest: int) -> list[int]:
+    """Intermediate nodes (dense indices) strictly between source and dest."""
+    path = tree.path_from(source)
+    return path[1:-1] if len(path) >= 2 else []

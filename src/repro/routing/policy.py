@@ -1,0 +1,78 @@
+"""The BGP routing-policy model of Appendix A.
+
+Every AS ranks the routes it learns to a destination by:
+
+``LP``  local preference: customer routes over peer routes over provider
+        routes;
+``SP``  shortest AS path among those;
+``SecP`` if the AS is *secure*, fully-secure paths over insecure ones
+        (the paper's tie-break-on-security proposal, §2.2.2);
+``TB``  a deterministic hash tie-break ``H(a, b)`` on the next hop.
+
+Export follows GR2: AS ``b`` announces a route via ``c`` to neighbor
+``a`` iff at least one of ``a`` and ``c`` is ``b``'s customer.  In
+selected-route terms: ``b`` announces its selected route to its
+customers always, and to peers/providers only when that route is a
+customer route (or ``b`` is the destination itself).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class RouteClass(enum.IntEnum):
+    """Local-preference class of a selected route (higher = preferred)."""
+
+    UNREACHABLE = -1
+    PROVIDER = 0
+    PEER = 1
+    CUSTOMER = 2
+    SELF = 3  # the destination's own (empty) route
+
+
+#: number of low bits of the tie-break key reserved for the candidate's
+#: position within a tiebreak set (used to disambiguate hash collisions)
+POSITION_BITS = 16
+
+_MIX_1 = np.uint64(0x9E3779B97F4A7C15)
+_MIX_2 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_3 = np.uint64(0x94D049BB133111EB)
+_U64 = np.uint64
+
+
+def tie_hash(node: int, candidate: int) -> int:
+    """Deterministic 64-bit tie-break hash ``H(node, candidate)``.
+
+    The paper breaks ties by "the path where hash H(a, b) is lowest"
+    (Appendix A, TB).  Any fixed pseudo-random function works; this is a
+    splitmix64-style mix over the dense indices, stable across runs and
+    platforms.
+    """
+    return int(tie_hash_array(np.array([node], dtype=np.uint64),
+                              np.array([candidate], dtype=np.uint64))[0])
+
+
+def tie_hash_array(nodes: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`tie_hash` over aligned uint64 arrays."""
+    x = nodes.astype(np.uint64) * _MIX_1 + candidates.astype(np.uint64) * _MIX_3
+    x ^= x >> _U64(30)
+    x *= _MIX_2
+    x ^= x >> _U64(27)
+    x *= _MIX_3
+    x ^= x >> _U64(31)
+    return x
+
+
+def exportable_to(route_class: RouteClass, neighbor_is_customer: bool) -> bool:
+    """GR2: may a route of ``route_class`` be announced to this neighbor?
+
+    ``neighbor_is_customer`` is True when the announcing AS would send
+    the route to one of its customers (always allowed); otherwise the
+    route must be a customer route or the announcer's own prefix.
+    """
+    if neighbor_is_customer:
+        return route_class is not RouteClass.UNREACHABLE
+    return route_class in (RouteClass.CUSTOMER, RouteClass.SELF)

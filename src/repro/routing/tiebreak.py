@@ -1,0 +1,132 @@
+"""Tiebreak-set statistics (Section 6.6, Figure 10).
+
+The tiebreak set of a (source, destination) pair is the set of
+equally-good interdomain routes among which the SecP criterion chooses.
+Its size measures the competition available to secure ISPs: the paper
+finds a mean of ~1.2 across all pairs (1.30 for ISPs, 1.16 for stubs)
+and that only ~20% of pairs have more than one candidate — yet that
+suffices to drive deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Iterable
+
+from repro.routing.tree import DestRouting, compute_dest_routing
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import ASRole
+
+
+@dataclasses.dataclass(frozen=True)
+class TiebreakStats:
+    """Distribution of tiebreak-set sizes across source-destination pairs."""
+
+    histogram: dict[int, int]      # size -> number of (src, dest) pairs
+    mean: float
+    mean_isp: float
+    mean_stub: float
+    multi_path_fraction: float     # pairs with more than one candidate
+    multi_path_fraction_isp: float
+
+    def ccdf(self) -> list[tuple[int, float]]:
+        """Complementary CDF points ``(size, P[size >= s])`` for plotting."""
+        total = sum(self.histogram.values())
+        if total == 0:
+            return []
+        out = []
+        acc = 0
+        for size in sorted(self.histogram, reverse=True):
+            acc += self.histogram[size]
+            out.append((size, acc / total))
+        out.reverse()
+        return out
+
+
+def collect_tiebreak_stats(
+    graph: ASGraph,
+    destinations: Iterable[int] | None = None,
+    dest_routing: Callable[[int], DestRouting] | None = None,
+) -> TiebreakStats:
+    """Tiebreak-set statistics over all sources and the given destinations.
+
+    ``destinations`` defaults to every node; pass a sample for speed.
+    ``dest_routing`` lets callers supply cached :class:`DestRouting`
+    structures.
+    """
+    if destinations is None:
+        destinations = range(graph.n)
+    if dest_routing is None:
+        dest_routing = lambda d: compute_dest_routing(graph, d)  # noqa: E731
+
+    roles = graph.roles
+    hist: Counter[int] = Counter()
+    total = 0.0
+    count = 0
+    isp_total = 0.0
+    isp_count = 0
+    isp_multi = 0
+    stub_total = 0.0
+    stub_count = 0
+    multi = 0
+
+    for dest in destinations:
+        dr = dest_routing(dest)
+        sizes = dr.tiebreak_sizes()
+        src_roles = roles[dr.order]
+        for size, role, node in zip(sizes, src_roles, dr.order):
+            if node == dest:
+                continue
+            size = int(size)
+            hist[size] += 1
+            total += size
+            count += 1
+            if size > 1:
+                multi += 1
+            if role == ASRole.ISP:
+                isp_total += size
+                isp_count += 1
+                if size > 1:
+                    isp_multi += 1
+            elif role == ASRole.STUB:
+                stub_total += size
+                stub_count += 1
+
+    return TiebreakStats(
+        histogram=dict(hist),
+        mean=total / count if count else 0.0,
+        mean_isp=isp_total / isp_count if isp_count else 0.0,
+        mean_stub=stub_total / stub_count if stub_count else 0.0,
+        multi_path_fraction=multi / count if count else 0.0,
+        multi_path_fraction_isp=isp_multi / isp_count if isp_count else 0.0,
+    )
+
+
+def security_sensitive_decision_fraction(graph: ASGraph, stats: TiebreakStats) -> float:
+    """The §6.7 headline number.
+
+    Only ISPs need to apply SecP (15% of ASes) and only their multi-path
+    tiebreak sets give SecP anything to do, so the fraction of routing
+    decisions that security influences is
+
+        ``(#ISPs / #ASes) * P[ISP tiebreak set > 1]``
+
+    which the paper evaluates to ``0.15 * 0.23 ~= 3.5%``.
+    """
+    isp_fraction = len(graph.isp_indices) / graph.n if graph.n else 0.0
+    return isp_fraction * stats.multi_path_fraction_isp
+
+
+def mean_path_length(graph: ASGraph, destinations: Iterable[int] | None = None) -> float:
+    """Mean selected-route length over all reachable (src, dest) pairs."""
+    if destinations is None:
+        destinations = range(graph.n)
+    total = 0.0
+    count = 0
+    for dest in destinations:
+        dr = compute_dest_routing(graph, dest)
+        lengths = dr.lengths[dr.order]
+        total += float(lengths.sum())
+        count += max(0, len(dr.order) - 1)  # exclude the destination itself
+    return total / count if count else 0.0

@@ -1,0 +1,317 @@
+"""Per-destination route classes, lengths and tiebreak sets.
+
+Observation C.1 of the paper: under the routing policies of Appendix A,
+the *length* and *type* (customer / peer / provider) of every node's
+selected route to a destination are independent of the deployment state
+``S``.  Only the choice *within* the tiebreak set — the set of
+equally-good next hops — depends on ``S`` (via the SecP step).
+
+This module computes that state-independent structure once per
+destination with the three-pass algorithm of [15] (customer-route BFS,
+peer relaxation, provider relaxation by increasing length), and
+packages it as a :class:`DestRouting` in CSR form ordered by path
+length, ready for the level-synchronous fast routing-tree algorithm of
+Appendix C.2 (:mod:`repro.routing.fast_tree`).
+
+All passes are vectorised over the :class:`CompiledGraph` edge arrays;
+a straightforward scalar implementation is kept for differential tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.routing.compiled import CompiledGraph, gather_neighbors
+from repro.routing.policy import RouteClass
+from repro.topology.graph import ASGraph
+
+_UNSET = -1
+
+_SELF = int(RouteClass.SELF)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PEER = int(RouteClass.PEER)
+_PROVIDER = int(RouteClass.PROVIDER)
+_UNREACHABLE = int(RouteClass.UNREACHABLE)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteInfo:
+    """Selected-route class and length per node for one destination."""
+
+    dest: int
+    cls: np.ndarray      # int8, RouteClass values
+    lengths: np.ndarray  # int32, -1 where unreachable
+
+
+def route_classes_and_lengths(
+    graph: ASGraph, dest: int, compiled: CompiledGraph | None = None
+) -> RouteInfo:
+    """Compute each node's selected-route class and length to ``dest``.
+
+    ``dest`` is a dense node index.  The three passes:
+
+    1. customer routes: BFS from ``dest`` along customer->provider edges
+       (every hop of a customer route must itself be a customer route to
+       be exportable upward, so these paths descend monotonically);
+    2. peer routes: one peer hop onto a customer route;
+    3. provider routes: relaxation in order of increasing selected
+       length, since a provider exports whatever it selected to its
+       customers.
+    """
+    cg = compiled or CompiledGraph.from_graph(graph)
+    n = cg.n
+    lengths = np.full(n, _UNSET, dtype=np.int32)
+    cls = np.full(n, _UNREACHABLE, dtype=np.int8)
+    lengths[dest] = 0
+    cls[dest] = _SELF
+
+    # Pass 1: customer routes -- BFS from dest along provider edges.
+    frontier = np.array([dest], dtype=np.int32)
+    level = 0
+    while len(frontier):
+        level += 1
+        nbrs = gather_neighbors(cg.prov_indptr, cg.prov_idx, frontier)
+        if not len(nbrs):
+            break
+        new = np.unique(nbrs[lengths[nbrs] == _UNSET])
+        if not len(new):
+            break
+        lengths[new] = level
+        cls[new] = _CUSTOMER
+        frontier = new
+
+    # Pass 2: peer routes -- one peer hop onto a customer route (or dest).
+    onto = (cls[cg.peer_idx] == _CUSTOMER) | (cls[cg.peer_idx] == _SELF)
+    src = cg.peer_src[onto]
+    cand = lengths[cg.peer_idx[onto]] + 1
+    no_route = cls[src] == _UNREACHABLE
+    src, cand = src[no_route], cand[no_route]
+    if len(src):
+        best = np.full(n, np.iinfo(np.int32).max, dtype=np.int32)
+        np.minimum.at(best, src, cand)
+        peer_nodes = np.unique(src)
+        lengths[peer_nodes] = best[peer_nodes]
+        cls[peer_nodes] = _PEER
+
+    # Pass 3: provider routes -- bucket relaxation by selected length
+    # (all hops cost 1, so Dijkstra degenerates to per-length buckets).
+    max_len = int(lengths.max(initial=0))
+    buckets: dict[int, np.ndarray] = {}
+    reached = lengths != _UNSET
+    if reached.any():
+        have = np.flatnonzero(reached)
+        for length in np.unique(lengths[have]):
+            buckets[int(length)] = have[lengths[have] == length]
+    length = 0
+    while length in buckets or length <= max_len:
+        sources = buckets.pop(length, None)
+        if sources is not None and len(sources):
+            custs = gather_neighbors(cg.cust_indptr, cg.cust_idx, sources)
+            new = np.unique(custs[cls[custs] == _UNREACHABLE])
+            if len(new):
+                lengths[new] = length + 1
+                cls[new] = _PROVIDER
+                existing = buckets.get(length + 1)
+                buckets[length + 1] = (
+                    new if existing is None else np.concatenate([existing, new])
+                )
+                max_len = max(max_len, length + 1)
+        length += 1
+        if length > n:  # pragma: no cover - defensive
+            raise RuntimeError("provider relaxation did not terminate")
+    return RouteInfo(dest=dest, cls=cls, lengths=lengths)
+
+
+def route_classes_and_lengths_scalar(graph: ASGraph, dest: int) -> RouteInfo:
+    """Scalar reference implementation of :func:`route_classes_and_lengths`."""
+    n = graph.n
+    dist_cust = np.full(n, _UNSET, dtype=np.int32)
+    dist_peer = np.full(n, _UNSET, dtype=np.int32)
+    dist_prov = np.full(n, _UNSET, dtype=np.int32)
+
+    dist_cust[dest] = 0
+    queue: deque[int] = deque([dest])
+    while queue:
+        u = queue.popleft()
+        for p in graph.providers[u]:
+            if dist_cust[p] == _UNSET:
+                dist_cust[p] = dist_cust[u] + 1
+                queue.append(p)
+
+    for i in range(n):
+        if i == dest:
+            continue
+        best = _UNSET
+        for p in graph.peers[i]:
+            dp = dist_cust[p]
+            if dp != _UNSET and (best == _UNSET or dp + 1 < best):
+                best = dp + 1
+        dist_peer[i] = best
+
+    selected_len = np.full(n, _UNSET, dtype=np.int32)
+    heap: list[tuple[int, int]] = []
+    for i in range(n):
+        if dist_cust[i] != _UNSET:
+            selected_len[i] = dist_cust[i]
+        elif dist_peer[i] != _UNSET:
+            selected_len[i] = dist_peer[i]
+        if selected_len[i] != _UNSET:
+            heapq.heappush(heap, (int(selected_len[i]), i))
+
+    done = np.zeros(n, dtype=bool)
+    while heap:
+        du, u = heapq.heappop(heap)
+        if done[u] or du != selected_len[u]:
+            continue
+        done[u] = True
+        for c in graph.customers[u]:
+            if dist_cust[c] != _UNSET or dist_peer[c] != _UNSET:
+                continue
+            cand = du + 1
+            if dist_prov[c] == _UNSET or cand < dist_prov[c]:
+                dist_prov[c] = cand
+                selected_len[c] = cand
+                heapq.heappush(heap, (cand, c))
+
+    cls = np.full(n, _UNREACHABLE, dtype=np.int8)
+    cls[dest] = _SELF
+    for i in range(n):
+        if i == dest:
+            continue
+        if dist_cust[i] != _UNSET:
+            cls[i] = _CUSTOMER
+        elif dist_peer[i] != _UNSET:
+            cls[i] = _PEER
+        elif dist_prov[i] != _UNSET:
+            cls[i] = _PROVIDER
+    return RouteInfo(dest=dest, cls=cls, lengths=selected_len)
+
+
+@dataclasses.dataclass
+class DestRouting:
+    """State-independent routing structure for one destination.
+
+    Rows of the tiebreak CSR (``indptr`` / ``cands``) are aligned with
+    ``order``, which lists reachable nodes by ascending selected-route
+    length (``order[0]`` is the destination).  ``level_starts[L]``
+    delimits nodes of length ``L`` within ``order``.
+    """
+
+    dest: int
+    cls: np.ndarray           # int8[n]
+    lengths: np.ndarray       # int32[n]
+    order: np.ndarray         # int32[num_reachable]
+    row_of: np.ndarray        # int32[n], row in `order`, -1 if unreachable
+    level_starts: np.ndarray  # int32[num_levels + 1]
+    indptr: np.ndarray        # int64[num_reachable + 1]
+    cands: np.ndarray         # int32[nnz], candidate next hops (node indices)
+    _rev: tuple[np.ndarray, np.ndarray] | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_reachable(self) -> int:
+        """Number of nodes with a route to the destination (incl. itself)."""
+        return len(self.order)
+
+    def tiebreak_set(self, node: int) -> np.ndarray:
+        """Candidate next hops of ``node`` (empty if unreachable / dest)."""
+        r = self.row_of[node]
+        if r < 0:
+            return self.cands[0:0]
+        return self.cands[self.indptr[r]:self.indptr[r + 1]]
+
+    def tiebreak_sizes(self) -> np.ndarray:
+        """Tiebreak-set size per *row* (aligned with ``order``)."""
+        return np.diff(self.indptr)
+
+    def reverse_tiebreak(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR (indptr, nodes) mapping node -> nodes that list it as a candidate.
+
+        Indexed by dense node id; used by the incremental projection
+        engine to propagate security changes upward.  Built lazily.
+        """
+        if self._rev is None:
+            n = len(self.cls)
+            srcs = np.repeat(self.order, np.diff(self.indptr))
+            sort = np.argsort(self.cands, kind="stable")
+            rev_nodes = srcs[sort].astype(np.int32)
+            counts = np.bincount(self.cands, minlength=n)
+            rev_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=rev_indptr[1:])
+            self._rev = (rev_indptr, rev_nodes)
+        return self._rev
+
+    def dependents_of(self, node: int) -> np.ndarray:
+        """Nodes whose tiebreak set contains ``node``."""
+        rev_indptr, rev_nodes = self.reverse_tiebreak()
+        return rev_nodes[rev_indptr[node]:rev_indptr[node + 1]]
+
+
+def compute_dest_routing(
+    graph: ASGraph, dest: int, compiled: CompiledGraph | None = None
+) -> DestRouting:
+    """Build the :class:`DestRouting` structure for ``dest`` (dense index)."""
+    cg = compiled or CompiledGraph.from_graph(graph)
+    info = route_classes_and_lengths(graph, dest, cg)
+    cls, lengths = info.cls, info.lengths
+    n = cg.n
+
+    reachable_mask = lengths != _UNSET
+    order = np.flatnonzero(reachable_mask).astype(np.int32)
+    sort = np.lexsort((order, lengths[order]))
+    order = order[sort]
+    row_of = np.full(n, -1, dtype=np.int32)
+    row_of[order] = np.arange(len(order), dtype=np.int32)
+
+    max_len = int(lengths[order[-1]]) if len(order) else 0
+    level_starts = np.searchsorted(
+        lengths[order], np.arange(max_len + 2), side="left"
+    ).astype(np.int32)
+
+    # Tiebreak candidates, per class, over flat edge arrays.
+    announces = (cls == _CUSTOMER) | (cls == _SELF)
+
+    c_src, c_dst = cg.cust_src, cg.cust_idx
+    c_mask = (
+        (cls[c_src] == _CUSTOMER)
+        & announces[c_dst]
+        & (lengths[c_dst] == lengths[c_src] - 1)
+    )
+    p_src, p_dst = cg.peer_src, cg.peer_idx
+    p_mask = (
+        (cls[p_src] == _PEER)
+        & announces[p_dst]
+        & (lengths[p_dst] == lengths[p_src] - 1)
+    )
+    v_src, v_dst = cg.prov_src, cg.prov_idx
+    v_mask = (
+        (cls[v_src] == _PROVIDER)
+        & (cls[v_dst] != _UNREACHABLE)
+        & (lengths[v_dst] == lengths[v_src] - 1)
+    )
+
+    srcs = np.concatenate([c_src[c_mask], p_src[p_mask], v_src[v_mask]])
+    dsts = np.concatenate([c_dst[c_mask], p_dst[p_mask], v_dst[v_mask]])
+    rows = row_of[srcs]
+    sort = np.lexsort((dsts, rows))
+    rows, cands = rows[sort], dsts[sort].astype(np.int32)
+
+    counts = np.bincount(rows, minlength=len(order))
+    indptr = np.zeros(len(order) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    return DestRouting(
+        dest=dest,
+        cls=cls,
+        lengths=lengths,
+        order=order,
+        row_of=row_of,
+        level_starts=level_starts,
+        indptr=indptr,
+        cands=cands,
+    )

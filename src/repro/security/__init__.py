@@ -1,0 +1,18 @@
+"""Attack-resilience quantification under partial deployment (§2.2.1, §6.4)."""
+
+from repro.security.hijack import HijackOutcome, simulate_hijack
+from repro.security.metrics import (
+    AttackImpact,
+    end_state_everyone_secure,
+    impact_for_state,
+    sample_attack_impact,
+)
+
+__all__ = [
+    "AttackImpact",
+    "HijackOutcome",
+    "end_state_everyone_secure",
+    "impact_for_state",
+    "sample_attack_impact",
+    "simulate_hijack",
+]

@@ -1,0 +1,216 @@
+"""Hijack simulation under partial S*BGP deployment.
+
+The paper quantifies security only indirectly (fraction of secure
+paths, Fig. 9) and flags attack-resilience quantification as future
+work (§6.4), while §2.2.1 claims the end state is strong: today "an
+arbitrary misbehaving AS can impact about half of the ASes in the
+Internet (around 15K) on average [15]", whereas with full-ISP + simplex
+deployment "the only open attack vector is for ISPs to announce false
+paths to their own stub customers".
+
+This module makes those claims measurable.  An attacker originates the
+victim's prefix (an origin hijack), both announcements propagate under
+the Appendix-A policies, and every AS picks a side:
+
+- ASes applying SecP prefer a fully-secure route to the victim over
+  the attacker's unsigned one (the hijack is *never* fully secure: the
+  attacker cannot produce the victim's origination signature);
+- everyone else decides on LP, path length and the hash tie-break —
+  exactly how hijacks win today;
+- optionally, the attacker's own *simplex stub customers* believe the
+  attacker's announcements are secure (they cannot validate; §2.2.1's
+  residual vector).
+
+Routing is computed with a fixpoint propagation over both origins
+(selection at each AS couples the two routes, so the single-origin
+analytic passes do not apply).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.routing.policy import RouteClass, tie_hash
+from repro.topology.graph import ASGraph
+
+_EXPORT_OK = (RouteClass.CUSTOMER, RouteClass.SELF)
+
+
+@dataclasses.dataclass(frozen=True)
+class HijackOutcome:
+    """Who ended up routing where for one (victim, attacker) pair."""
+
+    victim: int
+    attacker: int
+    routes_to_attacker: np.ndarray  # bool[n], False for the principals
+    reachable: np.ndarray           # bool[n], has any route to the prefix
+
+    @property
+    def num_fooled(self) -> int:
+        """ASes whose traffic the attacker captured."""
+        return int(self.routes_to_attacker.sum())
+
+    def fraction_fooled(self, total: int | None = None) -> float:
+        """Fooled ASes over the population (default: all other ASes)."""
+        n = len(self.routes_to_attacker)
+        denominator = total if total is not None else max(1, n - 2)
+        return self.num_fooled / denominator
+
+
+@dataclasses.dataclass(frozen=True)
+class _Route:
+    route_class: RouteClass
+    length: int
+    to_attacker: bool
+    secure: bool          # fully-secure chain back to the (claimed) origin
+    next_hop: int
+
+
+def simulate_hijack(
+    graph: ASGraph,
+    victim: int,
+    attacker: int,
+    node_secure: np.ndarray | None = None,
+    breaks_ties: np.ndarray | None = None,
+    attacker_convinces_own_stubs: bool = True,
+    drop_unvalidated: bool = False,
+    max_sweeps: int = 10_000,
+) -> HijackOutcome:
+    """Propagate victim + attacker originations and report the split.
+
+    ``victim`` / ``attacker`` are dense node indices.  ``node_secure``
+    and ``breaks_ties`` are the usual deployment-state flags; with both
+    None the world is today's insecure BGP.
+
+    The attacker's announcement is treated as insecure by every
+    validating AS (it cannot be signed end-to-end), except — when
+    ``attacker_convinces_own_stubs`` — at the attacker's simplex stub
+    customers, who cannot validate and accept their provider's word
+    (§2.2.1).
+
+    By default security acts only through the SecP *tie-break*, as in
+    the deployment model: a strictly shorter or better-class false
+    route still wins.  ``drop_unvalidated=True`` models the paper's
+    §2.2.1 end-state argument instead: fully-validating ASes (secure
+    non-stubs) *reject* routes that are not fully secure.  That is only
+    deployable once everything legitimate is signed — under partial
+    deployment it disconnects honest ASes, which is exactly the
+    BGP/S*BGP-coexistence hazard §1.4(5) warns about (the ``reachable``
+    mask exposes it).
+    """
+    n = graph.n
+    if node_secure is None:
+        node_secure = np.zeros(n, dtype=bool)
+    if breaks_ties is None:
+        breaks_ties = np.zeros(n, dtype=bool)
+    if victim == attacker:
+        raise ValueError("victim and attacker must differ")
+
+    selected: dict[int, _Route] = {
+        victim: _Route(RouteClass.SELF, 0, False, bool(node_secure[victim]), victim),
+        attacker: _Route(RouteClass.SELF, 0, True, False, attacker),
+    }
+    from repro.topology.relationships import ASRole
+
+    roles = graph.roles
+    gullible_stubs: set[int] = set()
+    if attacker_convinces_own_stubs:
+        gullible_stubs = {
+            c for c in graph.customers[attacker]
+            if roles[c] == int(ASRole.STUB) and node_secure[c]
+        }
+    # validators = full (non-simplex) S*BGP deployments
+    validators = node_secure & (roles != int(ASRole.STUB))
+
+    def offer(i: int, nbr: int, kind: RouteClass) -> _Route | None:
+        route = selected.get(nbr)
+        if route is None:
+            return None
+        if kind is not RouteClass.PROVIDER and route.route_class not in _EXPORT_OK:
+            return None
+        if drop_unvalidated and validators[i] and not route.secure:
+            # end-state filtering: reject what cannot be validated,
+            # unless this is the gullible-stub vector (stubs are not
+            # validators, so only `i == attacker's stub` is exempt and
+            # that case never reaches here).
+            return None
+        return route
+
+    def rank(i: int, nbr: int, route: _Route) -> tuple:
+        secure_pref = 0
+        if node_secure[i] and breaks_ties[i]:
+            seen_secure = route.secure or (
+                route.to_attacker and nbr == attacker and i in gullible_stubs
+            )
+            secure_pref = 0 if seen_secure else 1
+        return (-int(_class_for(i, nbr)), route.length + 1, secure_pref,
+                tie_hash(i, nbr), nbr)
+
+    index_class: dict[tuple[int, int], RouteClass] = {}
+
+    def _class_for(i: int, nbr: int) -> RouteClass:
+        key = (i, nbr)
+        cls = index_class.get(key)
+        if cls is None:
+            if nbr in graph.customers[i]:
+                cls = RouteClass.CUSTOMER
+            elif nbr in graph.peers[i]:
+                cls = RouteClass.PEER
+            else:
+                cls = RouteClass.PROVIDER
+            index_class[key] = cls
+        return cls
+
+    for _ in range(max_sweeps):
+        changed = False
+        for i in range(n):
+            if i == victim or i == attacker:
+                continue
+            best_key: tuple | None = None
+            best: _Route | None = None
+            for kind, neighbors in (
+                (RouteClass.CUSTOMER, graph.customers[i]),
+                (RouteClass.PEER, graph.peers[i]),
+                (RouteClass.PROVIDER, graph.providers[i]),
+            ):
+                for nbr in neighbors:
+                    route = offer(i, nbr, kind)
+                    if route is None:
+                        continue
+                    key = rank(i, nbr, route)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        secure = bool(
+                            node_secure[i]
+                            and (route.secure
+                                 or (route.to_attacker and nbr == attacker
+                                     and i in gullible_stubs))
+                        )
+                        best = _Route(kind, route.length + 1,
+                                      route.to_attacker, secure, nbr)
+            if best is None:
+                if i in selected:
+                    del selected[i]
+                    changed = True
+            elif selected.get(i) != best:
+                selected[i] = best
+                changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - policies converge
+        raise RuntimeError("hijack simulation did not converge")
+
+    to_attacker = np.zeros(n, dtype=bool)
+    reachable = np.zeros(n, dtype=bool)
+    for i, route in selected.items():
+        reachable[i] = True
+        if i not in (victim, attacker):
+            to_attacker[i] = route.to_attacker
+    return HijackOutcome(
+        victim=victim,
+        attacker=attacker,
+        routes_to_attacker=to_attacker,
+        reachable=reachable,
+    )

@@ -1,0 +1,101 @@
+"""Attack-impact metrics over deployment states.
+
+Backs the §2.2.1 comparison:
+
+- *status quo*: a random misbehaving AS attracts about half of all
+  ASes' traffic on average;
+- *proposed end state* (every ISP full S*BGP, every stub simplex): the
+  only remaining vector is an ISP lying to its own simplex stubs, so a
+  random attacker's average impact collapses to (roughly) its own stub
+  cone — 80% of ISPs have < 7 stub customers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.state import DeploymentState, StateDeriver
+from repro.security.hijack import simulate_hijack
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackImpact:
+    """Average hijack impact over sampled (attacker, victim) pairs."""
+
+    samples: int
+    mean_fraction_fooled: float
+    max_fraction_fooled: float
+    per_pair: tuple[tuple[int, int, float], ...]  # (attacker, victim, fraction)
+
+
+def sample_attack_impact(
+    graph: ASGraph,
+    node_secure: np.ndarray,
+    breaks_ties: np.ndarray,
+    samples: int = 20,
+    seed: int = 0,
+    attacker_pool: Iterable[int] | None = None,
+    victim_pool: Iterable[int] | None = None,
+    attacker_convinces_own_stubs: bool = True,
+    drop_unvalidated: bool = False,
+) -> AttackImpact:
+    """Mean fraction of ASes fooled across random attacker/victim pairs."""
+    rng = random.Random(seed)
+    attackers = list(attacker_pool) if attacker_pool is not None else list(range(graph.n))
+    victims = list(victim_pool) if victim_pool is not None else list(range(graph.n))
+
+    results: list[tuple[int, int, float]] = []
+    guard = 0
+    while len(results) < samples and guard < 50 * samples:
+        guard += 1
+        attacker = rng.choice(attackers)
+        victim = rng.choice(victims)
+        if attacker == victim:
+            continue
+        outcome = simulate_hijack(
+            graph, victim, attacker, node_secure, breaks_ties,
+            attacker_convinces_own_stubs=attacker_convinces_own_stubs,
+            drop_unvalidated=drop_unvalidated,
+        )
+        results.append((attacker, victim, outcome.fraction_fooled()))
+
+    fractions = [f for _, _, f in results]
+    return AttackImpact(
+        samples=len(results),
+        mean_fraction_fooled=float(np.mean(fractions)) if fractions else 0.0,
+        max_fraction_fooled=float(np.max(fractions)) if fractions else 0.0,
+        per_pair=tuple(results),
+    )
+
+
+def impact_for_state(
+    graph: ASGraph,
+    deriver: StateDeriver,
+    state: DeploymentState,
+    samples: int = 20,
+    seed: int = 0,
+    **kwargs,
+) -> AttackImpact:
+    """:func:`sample_attack_impact` with flags derived from a game state."""
+    node_secure = deriver.node_secure(state)
+    return sample_attack_impact(
+        graph, node_secure, deriver.breaks_ties(node_secure),
+        samples=samples, seed=seed, **kwargs,
+    )
+
+
+def end_state_everyone_secure(graph: ASGraph) -> DeploymentState:
+    """The §2.2.1 end state: every ISP and CP deploys (stubs simplex)."""
+    from repro.topology.relationships import ASRole
+
+    roles = graph.roles
+    deployers = frozenset(
+        i for i in range(graph.n)
+        if roles[i] in (int(ASRole.ISP), int(ASRole.CP))
+    )
+    return DeploymentState(deployers, frozenset())

@@ -1,0 +1,67 @@
+"""AS-level topology substrate: graph, generator, augmentation, I/O."""
+
+from repro.topology.augment import AugmentationReport, augment_cp_peering, mean_cp_path_length
+from repro.topology.evolution import (
+    EpochRecord,
+    EvolutionConfig,
+    EvolvingDeployment,
+    evolve_graph,
+)
+from repro.topology.errors import (
+    DuplicateASError,
+    DuplicateEdgeError,
+    GraphFormatError,
+    RelationshipCycleError,
+    TopologyError,
+    UnknownASError,
+)
+from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import ASRole, Relationship
+from repro.topology.serialization import dump_as_rel, dumps_as_rel, load_as_rel, loads_as_rel
+from repro.topology.stats import (
+    GraphSummary,
+    degree_array,
+    degree_distribution,
+    multihomed_stub_fraction,
+    stub_customer_counts,
+    summarize,
+    top_by_degree,
+)
+from repro.topology.traffic import apply_traffic_model, content_provider_weight, traffic_fraction_of
+
+__all__ = [
+    "ASGraph",
+    "ASRole",
+    "AugmentationReport",
+    "DuplicateASError",
+    "DuplicateEdgeError",
+    "EpochRecord",
+    "EvolutionConfig",
+    "EvolvingDeployment",
+    "GeneratedTopology",
+    "GraphFormatError",
+    "GraphSummary",
+    "Relationship",
+    "RelationshipCycleError",
+    "TopologyConfig",
+    "TopologyError",
+    "UnknownASError",
+    "apply_traffic_model",
+    "augment_cp_peering",
+    "content_provider_weight",
+    "degree_array",
+    "degree_distribution",
+    "dump_as_rel",
+    "dumps_as_rel",
+    "evolve_graph",
+    "generate_topology",
+    "load_as_rel",
+    "loads_as_rel",
+    "mean_cp_path_length",
+    "multihomed_stub_fraction",
+    "stub_customer_counts",
+    "summarize",
+    "top_by_degree",
+    "traffic_fraction_of",
+]

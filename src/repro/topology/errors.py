@@ -1,0 +1,44 @@
+"""Exceptions raised by the topology subpackage."""
+
+from __future__ import annotations
+
+
+class TopologyError(Exception):
+    """Base class for all topology errors."""
+
+
+class UnknownASError(TopologyError, KeyError):
+    """An operation referenced an AS number that is not in the graph."""
+
+    def __init__(self, asn: int):
+        super().__init__(f"AS {asn} is not in the graph")
+        self.asn = asn
+
+
+class DuplicateASError(TopologyError, ValueError):
+    """An AS number was added to the graph twice."""
+
+    def __init__(self, asn: int):
+        super().__init__(f"AS {asn} is already in the graph")
+        self.asn = asn
+
+
+class DuplicateEdgeError(TopologyError, ValueError):
+    """An edge between two ASes was declared twice."""
+
+    def __init__(self, a: int, b: int):
+        super().__init__(f"edge between AS {a} and AS {b} already exists")
+        self.endpoints = (a, b)
+
+
+class RelationshipCycleError(TopologyError, ValueError):
+    """The customer-provider hierarchy contains a cycle (violates GR1)."""
+
+    def __init__(self, cycle: list[int]):
+        path = " -> ".join(str(asn) for asn in cycle)
+        super().__init__(f"customer-provider cycle: {path}")
+        self.cycle = cycle
+
+
+class GraphFormatError(TopologyError, ValueError):
+    """A serialized graph file could not be parsed."""

@@ -1,0 +1,256 @@
+"""Synthetic Internet-like AS topology generator.
+
+The paper runs on the Cyclops AS graph of Dec 9 2010 augmented with IXP
+peering edges (Appendix D, Table 2): 36,964 ASes, 72,848
+customer-provider edges and 38,829 peerings, with ~85% stubs, a small
+clique of Tier-1s with enormous customer degree, five content providers
+and a heavily skewed degree distribution.
+
+That dataset is not shipped here, so this module generates synthetic
+topologies that reproduce the structural statistics the paper's results
+rely on (see DESIGN.md, Substitutions):
+
+- ~85% stubs, five CPs, remaining ASes are transit ISPs;
+- a Tier-1 clique at the top of an acyclic provider hierarchy (GR1
+  holds by construction: providers always live in a strictly higher
+  tier);
+- preferential attachment for provider selection, yielding power-law
+  customer degrees and a handful of very large transit ASes;
+- multihoming (mean ~2 providers per AS) so that competing providers
+  and DIAMOND structures (Figure 2) exist;
+- IXP peering pools, mirroring the IXP edges of [3] that the paper uses
+  for its augmented graph.
+
+Real data in CAIDA ``as-rel`` format can be loaded instead via
+:mod:`repro.topology.serialization`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Sequence
+
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the synthetic topology.
+
+    The defaults track the proportions of the paper's AS graph; only
+    ``n`` (total AS count) normally needs to be chosen.
+    """
+
+    n: int = 2000
+    stub_fraction: float = 0.85
+    num_cps: int = 5
+    num_tier1: int = 8
+    regional_fraction: float = 0.3  # fraction of transit ISPs that are regional
+    seed: int = 2011
+    #: distribution of the number of providers for stubs: P(1), P(2), P(3)
+    stub_multihoming: tuple[float, float, float] = (0.50, 0.38, 0.12)
+    #: distribution of the number of providers for non-Tier-1 ISPs
+    isp_multihoming: tuple[float, float, float] = (0.35, 0.45, 0.20)
+    #: target ratio of peering edges to ASes (paper: 38,829/36,964 ~= 1.05)
+    peering_ratio: float = 1.05
+    num_ixps: int = 4
+    #: fraction of ISPs that are present at some IXP
+    ixp_member_fraction: float = 0.35
+    #: providers per content provider (Tier-1 transit)
+    cp_providers: int = 2
+    #: fraction of IXP members each CP peers with in the *base* graph
+    cp_base_peering: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n < 20:
+            raise ValueError(f"n must be at least 20, got {self.n}")
+        if not 0 < self.stub_fraction < 1:
+            raise ValueError("stub_fraction must be in (0, 1)")
+        for dist in (self.stub_multihoming, self.isp_multihoming):
+            if abs(sum(dist) - 1.0) > 1e-9:
+                raise ValueError(f"multihoming distribution must sum to 1: {dist}")
+
+
+@dataclasses.dataclass
+class GeneratedTopology:
+    """A generated graph plus the structural metadata experiments need."""
+
+    graph: ASGraph
+    tier1_asns: list[int]
+    cp_asns: list[int]
+    ixp_members: list[list[int]]  # AS numbers per IXP
+    config: TopologyConfig
+
+    @property
+    def all_ixp_member_asns(self) -> list[int]:
+        """Union of all IXP member AS numbers, deduplicated, ordered."""
+        seen: set[int] = set()
+        out: list[int] = []
+        for members in self.ixp_members:
+            for asn in members:
+                if asn not in seen:
+                    seen.add(asn)
+                    out.append(asn)
+        return out
+
+
+def _sample_count(rng: random.Random, dist: Sequence[float]) -> int:
+    """Draw 1, 2 or 3 with the given probabilities."""
+    r = rng.random()
+    if r < dist[0]:
+        return 1
+    if r < dist[0] + dist[1]:
+        return 2
+    return 3
+
+
+def _choose_providers(
+    rng: random.Random,
+    pool: list[int],
+    attach: list[int],
+    count: int,
+) -> list[int]:
+    """Pick ``count`` distinct providers, degree-preferentially.
+
+    ``attach`` is the repeated-node preferential-attachment list; the
+    uniform ``pool`` is mixed in so low-degree providers keep a chance.
+    """
+    chosen: set[int] = set()
+    guard = 0
+    while len(chosen) < min(count, len(pool)):
+        guard += 1
+        source = attach if (attach and rng.random() < 0.75) else pool
+        chosen.add(rng.choice(source))
+        if guard > 50 * count:  # pathological tiny pools
+            for p in pool:
+                chosen.add(p)
+                if len(chosen) >= count:
+                    break
+    return list(chosen)
+
+
+def generate_topology(config: TopologyConfig | None = None, **overrides: object) -> GeneratedTopology:
+    """Generate a synthetic Internet-like AS graph.
+
+    Either pass a :class:`TopologyConfig` or keyword overrides of its
+    fields, e.g. ``generate_topology(n=1500, seed=7)``.
+    """
+    if config is None:
+        config = TopologyConfig(**overrides)  # type: ignore[arg-type]
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)  # type: ignore[arg-type]
+    rng = random.Random(config.seed)
+
+    n_stub = int(round(config.n * config.stub_fraction))
+    n_cp = min(config.num_cps, max(0, config.n - n_stub - config.num_tier1))
+    n_transit = config.n - n_stub - n_cp
+    n_tier1 = min(config.num_tier1, max(1, n_transit))
+    n_other_isp = n_transit - n_tier1
+    n_regional = int(round(n_other_isp * config.regional_fraction))
+    n_access = n_other_isp - n_regional
+
+    next_asn = 1
+    tier1 = list(range(next_asn, next_asn + n_tier1))
+    next_asn += n_tier1
+    regional = list(range(next_asn, next_asn + n_regional))
+    next_asn += n_regional
+    access = list(range(next_asn, next_asn + n_access))
+    next_asn += n_access
+    cps = list(range(next_asn, next_asn + n_cp))
+    next_asn += n_cp
+    stubs = list(range(next_asn, next_asn + n_stub))
+
+    graph = ASGraph(cp_asns=cps)
+    for asn in tier1 + regional + access + cps + stubs:
+        graph.add_as(asn)
+
+    # Tier-1 clique (settlement-free peerings).
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            graph.add_peering(a, b)
+
+    # Preferential-attachment lists: a provider appears once per customer
+    # it has already acquired, snapshotted per phase so that degree earned
+    # in earlier phases carries into later ones.
+    attach: list[int] = list(tier1)
+
+    def run_phase(customers: list[int], pool: list[int], dist: Sequence[float]) -> None:
+        pool_set = set(pool)
+        phase_attach = [x for x in attach if x in pool_set]
+        for customer in customers:
+            count = _sample_count(rng, dist)
+            for provider in _choose_providers(rng, pool, phase_attach, count):
+                graph.add_customer_provider(provider, customer)
+                phase_attach.append(provider)
+                attach.append(provider)
+
+    # Regional ISPs buy transit from Tier-1s; access ISPs from regionals
+    # and Tier-1s; stubs from any transit ISP, degree-preferentially.
+    run_phase(regional, tier1, config.isp_multihoming)
+    upstream = regional + tier1 if regional else tier1
+    run_phase(access, upstream, config.isp_multihoming)
+    all_isps = tier1 + regional + access
+    run_phase(stubs, all_isps, config.stub_multihoming)
+
+    # Content providers: Tier-1 transit, no customers.
+    for asn in cps:
+        for provider in rng.sample(tier1, min(config.cp_providers, len(tier1))):
+            graph.add_customer_provider(provider, asn)
+
+    # IXP pools: members are non-Tier-1 ISPs plus edge networks (stubs
+    # join IXPs too — they are the peers CPs connect to in [3]).
+    ixp_members: list[list[int]] = []
+    candidates = regional + access + rng.sample(stubs, int(len(stubs) * 0.15))
+    member_count = min(len(candidates), max(2, int(config.n * 0.12)))
+    for _ in range(config.num_ixps):
+        k = max(2, member_count // max(1, config.num_ixps))
+        members = rng.sample(candidates, min(k, len(candidates))) if candidates else []
+        ixp_members.append(sorted(members))
+
+    # Peering: IXP-local pairs first, then random same-tier pairs, until
+    # the target peering/AS ratio is met.
+    target_peerings = int(config.n * config.peering_ratio)
+
+    def try_peer(a: int, b: int) -> bool:
+        if a == b or graph.has_edge(a, b):
+            return False
+        graph.add_peering(a, b)
+        return True
+
+    made = graph.num_peering_edges()
+    for members in ixp_members:
+        for a in members:
+            # each IXP member peers with a few co-located members
+            for b in rng.sample(members, min(3, len(members))):
+                if made >= target_peerings:
+                    break
+                if try_peer(a, b):
+                    made += 1
+
+    pools = [regional + tier1, access, regional + access]
+    guard = 0
+    while made < target_peerings and guard < 50 * target_peerings:
+        guard += 1
+        pool = rng.choice(pools)
+        if len(pool) < 2:
+            continue
+        a, b = rng.sample(pool, 2)
+        if try_peer(a, b):
+            made += 1
+
+    # CPs peer with a slice of IXP members even in the base graph.
+    all_members = sorted({m for members in ixp_members for m in members})
+    for cp in cps:
+        k = int(len(all_members) * config.cp_base_peering)
+        for b in rng.sample(all_members, min(k, len(all_members))):
+            try_peer(cp, b)
+
+    graph.validate()
+    return GeneratedTopology(
+        graph=graph,
+        tier1_asns=tier1,
+        cp_asns=cps,
+        ixp_members=ixp_members,
+        config=config,
+    )

@@ -1,0 +1,54 @@
+"""Business relationships and AS roles for the AS-level topology.
+
+The paper annotates the AS graph with the standard Gao-Rexford business
+relationships (Section 3.1, Figure 1): *customer-provider* edges, where
+the customer pays the provider for transit, and *peer-to-peer* edges,
+where two ASes exchange traffic settlement-free.
+
+ASes are partitioned into three roles (Section 3.1):
+
+- ``STUB`` -- no customers and not a content provider; ~85% of the
+  Internet.  Stubs only ever originate traffic for their own prefixes.
+- ``CP`` -- one of the five content providers that together originate an
+  ``x`` fraction of all Internet traffic.
+- ``ISP`` -- everything else; ISPs are the only players in the
+  deployment game.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Relationship(enum.IntEnum):
+    """Business relationship of an edge, from the perspective of one end.
+
+    ``CUSTOMER`` means "the neighbor is my customer", ``PROVIDER`` means
+    "the neighbor is my provider", ``PEER`` means a settlement-free peer.
+    """
+
+    CUSTOMER = 1
+    PEER = 0
+    PROVIDER = -1
+
+    def flipped(self) -> "Relationship":
+        """Return the same edge as seen from the other endpoint."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+class ASRole(enum.IntEnum):
+    """Role of an AS in the deployment game (Section 3.1)."""
+
+    STUB = 0
+    ISP = 1
+    CP = 2
+
+
+#: CAIDA ``as-rel`` file encoding: ``<a>|<b>|-1`` means *a is b's
+#: provider* (equivalently b is a's customer); ``<a>|<b>|0`` is peering.
+CAIDA_PROVIDER_TO_CUSTOMER = -1
+CAIDA_PEER_TO_PEER = 0

@@ -1,0 +1,37 @@
+"""Shared fixtures: small generated topologies and warmed caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.setup import ExperimentEnv, build_environment
+from repro.routing.cache import RoutingCache
+from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.graph import ASGraph
+from repro.topology.traffic import apply_traffic_model
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> GeneratedTopology:
+    """A 200-AS synthetic Internet (shared, treat as read-only)."""
+    return generate_topology(n=200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_topology: GeneratedTopology) -> ASGraph:
+    graph = small_topology.graph
+    apply_traffic_model(graph, 0.10)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_cache(small_graph: ASGraph) -> RoutingCache:
+    cache = RoutingCache(small_graph)
+    cache.warm()
+    return cache
+
+
+@pytest.fixture(scope="session")
+def medium_env() -> ExperimentEnv:
+    """A 400-AS environment for experiment-level tests (read-only)."""
+    return build_environment(n=400, seed=5, x=0.10, warm=True)

@@ -1,0 +1,79 @@
+"""Tests for local utility forecasting (§8.2 shadow configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import UtilityModel
+from repro.core.engine import compute_round_data
+from repro.core.forecast import forecast_error_study, local_project_flip
+from repro.core.projection import project_flip
+from repro.core.state import DeploymentState, StateDeriver
+
+
+@pytest.fixture(scope="module")
+def setting(small_graph, small_cache):
+    deriver = StateDeriver(small_graph, compiled=small_cache.compiled)
+    from repro.core.adopters import cps_plus_top_isps
+
+    adopters = frozenset(
+        small_graph.index(a) for a in cps_plus_top_isps(small_graph, 3)
+    )
+    state = DeploymentState.initial(adopters)
+    rd = compute_round_data(small_cache, deriver, state, UtilityModel.OUTGOING)
+    isps = [i for i in small_graph.isp_indices if i not in adopters][:10]
+    return deriver, rd, isps
+
+
+class TestLocalForecast:
+    def test_large_horizon_is_exact(self, small_cache, setting):
+        """With unbounded shadow cooperation the estimate equals the
+        exact projection — validating the bounded propagation."""
+        deriver, rd, isps = setting
+        for isp in isps:
+            exact = project_flip(
+                small_cache, deriver, rd, isp, True, UtilityModel.OUTGOING
+            ).utility
+            local = local_project_flip(
+                small_cache, deriver, rd, isp, horizon=10 ** 6
+            )
+            assert local == pytest.approx(exact, abs=1e-6)
+
+    def test_error_shrinks_with_horizon(self, small_cache, setting):
+        deriver, rd, isps = setting
+        means = []
+        for horizon in (0, 2, 10):
+            fcs = forecast_error_study(
+                small_cache, deriver, rd, isps, horizon=horizon
+            )
+            means.append(float(np.mean([abs(f.epsilon) for f in fcs])))
+        assert means[2] <= means[0] + 1e-9
+        assert means[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_horizon_rejected(self, small_cache, setting):
+        deriver, rd, isps = setting
+        with pytest.raises(ValueError):
+            local_project_flip(small_cache, deriver, rd, isps[0], horizon=-1)
+
+    def test_forecast_fields(self, small_cache, setting):
+        deriver, rd, isps = setting
+        fcs = forecast_error_study(small_cache, deriver, rd, isps[:3], horizon=1)
+        for f in fcs:
+            assert f.horizon == 1
+            assert f.current_utility >= 0
+            if f.exact_utility:
+                assert f.error == pytest.approx(
+                    (f.estimated_utility - f.exact_utility) / f.exact_utility
+                )
+
+    def test_incoming_model_supported(self, small_cache, setting):
+        deriver, rd_out, isps = setting
+        rd = compute_round_data(
+            small_cache, deriver, rd_out.state, UtilityModel.INCOMING
+        )
+        value = local_project_flip(
+            small_cache, deriver, rd, isps[0],
+            model=UtilityModel.INCOMING, horizon=1,
+        )
+        assert value >= 0

@@ -1,0 +1,60 @@
+"""Property test for Theorem 6.2 / H.1.
+
+In the outgoing utility model, a secure node never has an incentive to
+turn S*BGP off: for random graphs, random states, and every secure ISP,
+the utility after turning off must not exceed the current utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import UtilityModel
+from repro.core.engine import compute_round_data
+from repro.core.projection import project_flip
+from repro.core.state import DeploymentState, StateDeriver
+from repro.routing.cache import RoutingCache
+from repro.topology.relationships import ASRole
+
+from tests.strategies import as_graphs
+
+
+@given(as_graphs(min_nodes=6, max_nodes=16), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_no_turn_off_incentive_outgoing(graph, rnd):
+    isps = [i for i in range(graph.n) if graph.roles[i] == int(ASRole.ISP)]
+    if not isps:
+        return
+    deployers = frozenset(rnd.sample(isps, rnd.randint(1, len(isps))))
+    state = DeploymentState(deployers, frozenset())
+    cache = RoutingCache(graph)
+    deriver = StateDeriver(graph, compiled=cache.compiled)
+    rd = compute_round_data(cache, deriver, state, UtilityModel.OUTGOING)
+    for isp in deployers:
+        proj = project_flip(
+            cache, deriver, rd, isp, turning_on=False, model=UtilityModel.OUTGOING
+        )
+        assert proj.utility <= float(rd.utilities[isp]) + 1e-9
+
+
+@given(as_graphs(min_nodes=6, max_nodes=16), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_turning_on_never_hurts_outgoing(graph, rnd):
+    """Theorem H.1, other direction: deploying cannot lose traffic."""
+    isps = [i for i in range(graph.n) if graph.roles[i] == int(ASRole.ISP)]
+    if not isps:
+        return
+    secure = frozenset(rnd.sample(isps, rnd.randint(0, len(isps) - 1)))
+    state = DeploymentState(secure, frozenset())
+    cache = RoutingCache(graph)
+    deriver = StateDeriver(graph, compiled=cache.compiled)
+    rd = compute_round_data(cache, deriver, state, UtilityModel.OUTGOING)
+    for isp in isps:
+        if isp in secure:
+            continue
+        proj = project_flip(
+            cache, deriver, rd, isp, turning_on=True, model=UtilityModel.OUTGOING
+        )
+        assert proj.utility >= float(rd.utilities[isp]) - 1e-9

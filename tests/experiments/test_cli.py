@@ -1,0 +1,36 @@
+"""CLI smoke tests (fast, tiny graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("case-study", "sweep", "tiebreak", "cp-vs-tier1",
+                    "turnoff", "graph-stats"):
+            args = parser.parse_args([cmd, "--n", "50"])
+            assert args.command == cmd
+            assert args.n == 50
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_graph_stats(self, capsys):
+        assert main(["graph-stats", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_tiebreak(self, capsys):
+        assert main(["tiebreak", "--n", "60"]) == 0
+        assert "tiebreak" in capsys.readouterr().out
+
+    def test_case_study(self, capsys):
+        assert main(["case-study", "--n", "60", "--theta", "0.05"]) == 0
+        assert "early adopters" in capsys.readouterr().out

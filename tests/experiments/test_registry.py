@@ -1,0 +1,35 @@
+"""Tests for the named experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_expected_ids(self):
+        assert {"table1", "fig3", "fig8", "fig10", "sec73", "table2"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_list_sorted(self):
+        ids = [e.id for e in list_experiments()]
+        assert ids == sorted(ids)
+
+    def test_unknown_id_hints(self, medium_env):
+        with pytest.raises(KeyError, match="known ids"):
+            run_experiment("nope", medium_env)
+
+    def test_every_experiment_runs(self, medium_env):
+        for experiment in list_experiments():
+            text = run_experiment(experiment.id, medium_env)
+            assert isinstance(text, str) and text
+
+    def test_table2_mentions_counts(self, medium_env):
+        text = run_experiment("table2", medium_env)
+        assert str(medium_env.graph.n) in text

@@ -1,0 +1,25 @@
+"""Tests for the scale-invariance study."""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import run_scaling_study
+
+
+class TestScalingStudy:
+    def test_points_per_size(self):
+        points = run_scaling_study(sizes=(100, 200), theta=0.10)
+        assert [p.n for p in points] == [100, 200]
+
+    def test_structural_invariants(self):
+        points = run_scaling_study(sizes=(150, 300), theta=0.05)
+        for p in points:
+            assert abs(p.stub_fraction - 0.85) < 0.06
+            assert 1.0 <= p.mean_tiebreak <= 2.0
+            assert 0.0 <= p.multi_path_fraction <= 0.6
+            assert 0.0 < p.security_sensitive_fraction < 0.15
+
+    def test_outcome_recorded(self):
+        points = run_scaling_study(sizes=(150,), theta=0.05)
+        p = points[0]
+        assert 0.0 <= p.fraction_secure_ases <= 1.0
+        assert p.num_rounds >= 1

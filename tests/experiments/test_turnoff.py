@@ -1,0 +1,69 @@
+"""Tests for the §7 turn-off censuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation
+from repro.core.state import DeploymentState
+from repro.experiments.turnoff import (
+    per_destination_turn_off_census,
+    whole_network_turn_off_census,
+)
+
+
+@pytest.fixture(scope="module")
+def incoming_state(medium_env):
+    config = SimulationConfig(
+        theta=0.05,
+        utility_model=UtilityModel.INCOMING,
+        stub_breaks_ties=False,
+        max_rounds=25,
+    )
+    sim = DeploymentSimulation(
+        medium_env.graph, medium_env.case_study_adopters(), config, medium_env.cache
+    )
+    return sim.run().final_state
+
+
+class TestWholeNetworkCensus:
+    def test_stable_state_has_no_whole_network_incentive(
+        self, medium_env, incoming_state
+    ):
+        """At a *stable* state of the incoming game, nobody wants to turn
+        off by definition (with matching theta)."""
+        census = whole_network_turn_off_census(
+            medium_env, incoming_state, theta=0.05
+        )
+        assert census.num_with_incentive == 0
+
+    def test_counts_consistent(self, medium_env, incoming_state):
+        census = whole_network_turn_off_census(medium_env, incoming_state)
+        assert 0 <= census.num_with_incentive <= census.num_secure_isps
+        assert len(census.examples) <= 10
+        assert 0.0 <= census.fraction <= 1.0
+
+
+class TestPerDestinationCensus:
+    def test_examples_are_asns(self, medium_env, incoming_state):
+        census = per_destination_turn_off_census(medium_env, incoming_state)
+        for asn in census.examples:
+            assert asn in medium_env.graph
+
+    def test_per_destination_at_least_whole_network(
+        self, medium_env, incoming_state
+    ):
+        """§7.3: per-destination incentives are at least as common as
+        whole-network ones (any whole-network gain implies some
+        destination gains)."""
+        whole = whole_network_turn_off_census(medium_env, incoming_state)
+        per_dest = per_destination_turn_off_census(medium_env, incoming_state)
+        assert per_dest.num_with_incentive >= whole.num_with_incentive
+
+    def test_empty_state(self, medium_env):
+        census = per_destination_turn_off_census(
+            medium_env, DeploymentState(frozenset(), frozenset())
+        )
+        assert census.num_secure_isps == 0
+        assert census.fraction == 0.0

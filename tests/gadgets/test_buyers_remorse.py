@@ -1,0 +1,75 @@
+"""The Fig-13 buyer's-remorse gadget: incentive to disable S*BGP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation
+from repro.core.engine import compute_round_data
+from repro.core.projection import project_flip
+from repro.core.state import DeploymentState, StateDeriver
+from repro.gadgets.buyers_remorse import build_buyers_remorse
+from repro.routing.cache import RoutingCache
+
+
+@pytest.fixture(scope="module")
+def setting():
+    net = build_buyers_remorse()
+    cache = RoutingCache(net.graph)
+    # Fig. 13 assumes simplex stubs do not break ties
+    deriver = StateDeriver(net.graph, stub_breaks_ties=False, compiled=cache.compiled)
+    g = net.graph
+    ea = frozenset([g.index(net.cp), g.index(net.upstream)])
+    state = DeploymentState.initial(ea).with_flips(turn_on=[g.index(net.focal)])
+    rd = compute_round_data(cache, deriver, state, UtilityModel.INCOMING)
+    return net, cache, deriver, state, rd
+
+
+class TestRemorse:
+    def test_turning_off_raises_incoming_utility(self, setting):
+        net, cache, deriver, state, rd = setting
+        focal = net.graph.index(net.focal)
+        proj = project_flip(
+            cache, deriver, rd, focal, turning_on=False, model=UtilityModel.INCOMING
+        )
+        assert proj.utility > float(rd.utilities[focal])
+
+    def test_gain_scales_with_stub_count(self, setting):
+        """Each stub destination moves ~w_cp of traffic onto customer
+        edges, matching the paper's per-destination account."""
+        net, cache, deriver, state, rd = setting
+        focal = net.graph.index(net.focal)
+        proj = project_flip(
+            cache, deriver, rd, focal, turning_on=False, model=UtilityModel.INCOMING
+        )
+        gain = proj.utility - float(rd.utilities[focal])
+        assert gain == pytest.approx(len(net.stubs) * 821.0, rel=0.1)
+
+    def test_no_remorse_under_outgoing(self, setting):
+        """Theorem 6.2 sanity: the same ISP has no outgoing incentive."""
+        net, cache, deriver, state, _ = setting
+        rd = compute_round_data(cache, deriver, state, UtilityModel.OUTGOING)
+        focal = net.graph.index(net.focal)
+        proj = project_flip(
+            cache, deriver, rd, focal, turning_on=False, model=UtilityModel.OUTGOING
+        )
+        assert proj.utility <= float(rd.utilities[focal]) + 1e-9
+
+    def test_dynamics_actually_turn_off(self, setting):
+        """Run the incoming-model game: the focal ISP disables S*BGP."""
+        net, cache, deriver, state, rd = setting
+        g = net.graph
+        cfg = SimulationConfig(
+            theta=0.0,
+            utility_model=UtilityModel.INCOMING,
+            stub_breaks_ties=False,
+            max_rounds=10,
+        )
+        sim = DeploymentSimulation(
+            g, [net.cp, net.upstream], cfg, cache, player_asns=[net.focal]
+        )
+        sim.state = sim.state.with_flips(turn_on=[g.index(net.focal)])
+        result = sim.run()
+        assert g.index(net.focal) in result.rounds[0].turned_off
+        assert not result.final_node_secure[g.index(net.focal)]

@@ -1,0 +1,63 @@
+"""The DIAMOND gadget must reproduce the Fig-2 / §5.5 competition story."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation, Outcome
+from repro.gadgets.diamond import build_diamond
+from repro.routing.cache import RoutingCache
+
+
+@pytest.fixture(scope="module")
+def played():
+    net = build_diamond()
+    cfg = SimulationConfig(theta=0.02, utility_model=UtilityModel.OUTGOING)
+    sim = DeploymentSimulation(net.graph, [net.source], cfg)
+    return net, sim.run()
+
+
+class TestCompetition:
+    def test_both_competitors_deploy(self, played):
+        net, result = played
+        g = net.graph
+        assert result.outcome is Outcome.STABLE
+        assert result.final_node_secure[g.index(net.left)]
+        assert result.final_node_secure[g.index(net.right)]
+
+    def test_stub_secured_by_simplex(self, played):
+        net, result = played
+        assert result.final_node_secure[net.graph.index(net.stub)]
+
+    def test_steal_then_regain(self, played):
+        """One ISP steals in round 1; the other deploys to regain."""
+        net, result = played
+        g = net.graph
+        first = result.rounds[0].turned_on
+        second = result.rounds[1].turned_on
+        competitors = {g.index(net.left), g.index(net.right)}
+        assert len(first) == 1 and set(first) <= competitors
+        assert len(second) == 1 and set(second) <= competitors
+        assert set(first) | set(second) == competitors
+
+    def test_stealer_utility_spike_is_temporary(self, played):
+        """§5.5: the stealer's gain disappears once the rival deploys."""
+        net, result = played
+        g = net.graph
+        stealer = result.rounds[0].turned_on[0]
+        history = result.utility_history(stealer)
+        start = result.starting_utilities[stealer]
+        assert max(history) > start  # the spike
+        assert history[-1] == pytest.approx(start)  # gone at the end
+
+    def test_victim_recovers_traffic(self, played):
+        """The paper's tie-break rule lets the original carrier regain
+        its traffic once both routes are secure."""
+        net, result = played
+        g = net.graph
+        victim = result.rounds[1].turned_on[0]
+        history = result.utility_history(victim)
+        start = result.starting_utilities[victim]
+        assert min(history) < start       # it lost traffic mid-game
+        assert history[-1] == pytest.approx(start)  # and got it back

@@ -1,0 +1,91 @@
+"""The Appendix-E set-cover reduction (Theorem 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gadgets.hardness import SetCoverInstance, build_set_cover_network
+from repro.routing.cache import RoutingCache
+
+
+@pytest.fixture(scope="module")
+def instance() -> SetCoverInstance:
+    return SetCoverInstance(
+        universe=(1, 2, 3, 4, 5, 6),
+        subsets=(
+            frozenset({1, 2, 3}),
+            frozenset({4, 5}),
+            frozenset({3, 6}),
+            frozenset({6}),
+        ),
+        k=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def network(instance):
+    net = build_set_cover_network(instance)
+    cache = RoutingCache(net.graph)
+    return net, cache
+
+
+class TestInstance:
+    def test_linearity_check(self, instance):
+        assert instance.is_linear()
+        overlapping = SetCoverInstance(
+            universe=(1, 2), subsets=(frozenset({1, 2}), frozenset({1, 2})), k=1
+        )
+        assert not overlapping.is_linear()
+
+    def test_coverage(self, instance):
+        assert instance.coverage([0]) == 3
+        assert instance.coverage([0, 1]) == 5
+        assert instance.coverage([]) == 0
+
+    def test_brute_force_cover(self, instance):
+        chosen, covered = instance.best_cover()
+        assert covered == 5
+        assert set(chosen) == {0, 1}
+
+    def test_greedy_cover(self, instance):
+        chosen, covered = instance.greedy_cover()
+        assert covered == 5
+
+    def test_greedy_can_be_suboptimal(self):
+        """The classic greedy trap: a big middle set misleads it."""
+        inst = SetCoverInstance(
+            universe=(1, 2, 3, 4, 5, 6),
+            subsets=(
+                frozenset({1, 2, 3, 4}),   # greedy grabs this
+                frozenset({1, 2, 5}),
+                frozenset({3, 4, 6}),
+            ),
+            k=2,
+        )
+        greedy_chosen, greedy_cov = inst.greedy_cover()
+        best_chosen, best_cov = inst.best_cover()
+        assert best_cov == 6
+        assert set(best_chosen) == {1, 2}
+        assert greedy_cov < best_cov
+
+
+class TestReduction:
+    def test_secure_count_formula(self, network):
+        """Adoption count = 1 + 2k + covered elements, exactly."""
+        net, cache = network
+        for chosen in [(0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]:
+            assert net.secure_count_for(chosen, cache) == net.expected_secure_count(chosen)
+
+    def test_optimal_adoption_is_optimal_cover(self, network):
+        net, cache = network
+        inst = net.instance
+        best_by_simulation = max(
+            ((i, j) for i in range(4) for j in range(i + 1, 4)),
+            key=lambda pair: net.secure_count_for(pair, cache),
+        )
+        _, best_cov = inst.best_cover()
+        assert inst.coverage(best_by_simulation) == best_cov
+
+    def test_empty_seed_secures_nothing(self, network):
+        net, cache = network
+        assert net.secure_count_for((), cache) == 0

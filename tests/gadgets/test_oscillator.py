@@ -1,0 +1,100 @@
+"""The chicken gadget (App. K.5) and its oscillation (Thm 7.1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import DeploymentSimulation, Outcome
+from repro.core.engine import compute_round_data
+from repro.core.state import DeploymentState, StateDeriver
+from repro.gadgets.oscillator import build_chicken
+from repro.routing.cache import RoutingCache
+
+
+@pytest.fixture(scope="module")
+def chicken():
+    net = build_chicken()
+    cache = RoutingCache(net.graph)
+    deriver = StateDeriver(net.graph, stub_breaks_ties=True, compiled=cache.compiled)
+    return net, cache, deriver
+
+
+def utilities_at(net, cache, deriver, on10, on20):
+    g = net.graph
+    ea = frozenset(g.index(a) for a in net.fixed_on)
+    ups = []
+    if on10:
+        ups.append(g.index(net.node10))
+    if on20:
+        ups.append(g.index(net.node20))
+    state = DeploymentState.initial(ea).with_flips(turn_on=ups)
+    rd = compute_round_data(cache, deriver, state, UtilityModel.INCOMING)
+    return float(rd.utilities[g.index(net.node10)]), float(rd.utilities[g.index(net.node20)])
+
+
+class TestBiMatrix:
+    """The four states must order like the chicken game of Table 5."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self, chicken):
+        net, cache, deriver = chicken
+        return {
+            (a, b): utilities_at(net, cache, deriver, a, b)
+            for a, b in itertools.product((False, True), repeat=2)
+        }
+
+    def test_both_on_both_regret(self, matrix):
+        u10_on, u20_on = matrix[(True, True)]
+        assert matrix[(False, True)][0] > u10_on   # 10 gains by leaving
+        assert matrix[(True, False)][1] > u20_on   # 20 gains by leaving
+
+    def test_both_off_both_want_in(self, matrix):
+        u10_off, u20_off = matrix[(False, False)]
+        assert matrix[(True, False)][0] > u10_off
+        assert matrix[(False, True)][1] > u20_off
+
+    def test_anticoordination_states_stable(self, matrix):
+        # (ON, OFF): neither player benefits from moving
+        assert matrix[(True, False)][0] >= matrix[(False, False)][0]
+        assert matrix[(True, False)][1] >= matrix[(True, True)][1]
+        # (OFF, ON): same
+        assert matrix[(False, True)][1] >= matrix[(False, False)][1]
+        assert matrix[(False, True)][0] >= matrix[(True, True)][0]
+
+
+class TestOscillation:
+    def test_simultaneous_best_response_cycles(self, chicken):
+        net, cache, deriver = chicken
+        cfg = SimulationConfig(
+            theta=0.0, utility_model=UtilityModel.INCOMING, max_rounds=30
+        )
+        sim = DeploymentSimulation(
+            net.graph, net.fixed_on, cfg, cache, player_asns=list(net.players)
+        )
+        result = sim.run()
+        assert result.outcome is Outcome.OSCILLATION
+        ons = [set(r.turned_on) for r in result.rounds]
+        offs = [set(r.turned_off) for r in result.rounds]
+        g = net.graph
+        both = {g.index(net.node10), g.index(net.node20)}
+        assert ons[0] == both   # (OFF,OFF) -> both leap in
+        assert offs[1] == both  # (ON,ON) -> both leap out
+
+    def test_outgoing_model_does_not_oscillate(self, chicken):
+        """Theorem 6.2 forbids oscillation under outgoing utility."""
+        net, cache, _ = chicken
+        cfg = SimulationConfig(
+            theta=0.0, utility_model=UtilityModel.OUTGOING, max_rounds=30
+        )
+        sim = DeploymentSimulation(
+            net.graph, net.fixed_on, cfg, cache, player_asns=list(net.players)
+        )
+        result = sim.run()
+        assert result.outcome is Outcome.STABLE
+
+    def test_build_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            build_chicken(m=1.0, eps=1.0)

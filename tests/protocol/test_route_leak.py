@@ -1,0 +1,69 @@
+"""Route leaks: the policy violation S*BGP does not (and cannot) stop.
+
+S-BGP/soBGP authenticate that every AS on a path really propagated the
+announcement; a leak is a *policy* failure — every hop genuinely sent
+it — so leaked routes validate as fully secure.  (This is the classic
+BGPsec caveat, and one reason the paper's §1.4(5) warning about
+long-term BGP/S*BGP coexistence engineering matters.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.router import ProtocolNetwork, SecurityLevel, SecurityMode
+from repro.protocol.rpki import Prefix, RPKI
+from repro.topology.graph import ASGraph
+
+PFX = Prefix("192.0.2.0", 24)
+
+
+@pytest.fixture()
+def leak_world():
+    """Origin 1 -> provider 10; multihomed customer 30 of 10 and 20.
+
+    If 30 leaks the route it learned from provider 10 to its other
+    provider 20, then 20 reaches the prefix through its *customer* 30
+    (LP prefers it) instead of a longer honest path.
+    """
+    g = ASGraph()
+    for asn in (1, 10, 20, 30, 99):
+        g.add_as(asn)
+    g.add_customer_provider(provider=10, customer=1)     # origin
+    g.add_customer_provider(provider=10, customer=30)
+    g.add_customer_provider(provider=20, customer=30)
+    g.add_peering(10, 99)
+    g.add_peering(99, 20)  # honest-but-unusable path (peer via peer)
+    return g
+
+
+class TestRouteLeak:
+    def test_no_leak_no_route(self, leak_world):
+        net = ProtocolNetwork(leak_world, RPKI(seed=b"L"))
+        net.originate_prefix(1, PFX, issue_roa=False)
+        net.converge()
+        # GR2 keeps 30's provider route away from provider 20, and the
+        # peer-via-peer path is not exportable either
+        assert net.route_of(20, PFX) is None
+
+    def test_leak_attracts_traffic(self, leak_world):
+        net = ProtocolNetwork(leak_world, RPKI(seed=b"L"), leakers={30})
+        net.originate_prefix(1, PFX, issue_roa=False)
+        net.converge()
+        entry = net.route_of(20, PFX)
+        assert entry is not None
+        assert entry.path == (30, 10, 1)  # through the leaker
+
+    def test_leak_validates_as_fully_secure(self, leak_world):
+        """Everyone runs full S*BGP and the leak STILL validates: every
+        signature on the leaked path is genuine."""
+        modes = {asn: SecurityMode.FULL for asn in (1, 10, 20, 30)}
+        net = ProtocolNetwork(
+            leak_world, RPKI(seed=b"L"), modes=modes, leakers={30}
+        )
+        net.originate_prefix(1, PFX)
+        net.converge()
+        entry = net.route_of(20, PFX)
+        assert entry is not None
+        assert entry.path == (30, 10, 1)
+        assert entry.level is SecurityLevel.FULLY_SECURE

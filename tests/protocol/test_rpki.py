@@ -1,0 +1,132 @@
+"""Tests for the simulated RPKI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.rpki import Prefix, ROA, RPKI, UnknownKeyError
+
+
+@pytest.fixture()
+def rpki() -> RPKI:
+    return RPKI(seed=b"test")
+
+
+PFX = Prefix("203.0.113.0", 24)
+
+
+class TestKeys:
+    def test_register_idempotent(self, rpki):
+        rpki.register_as(65000)
+        sig1 = rpki.sign(65000, b"hello")
+        rpki.register_as(65000)
+        assert rpki.sign(65000, b"hello") == sig1
+
+    def test_sign_requires_key(self, rpki):
+        with pytest.raises(UnknownKeyError):
+            rpki.sign(65000, b"x")
+
+    def test_verify_roundtrip(self, rpki):
+        rpki.register_as(1)
+        sig = rpki.sign(1, b"msg")
+        assert rpki.verify(1, b"msg", sig)
+
+    def test_verify_rejects_tamper(self, rpki):
+        rpki.register_as(1)
+        sig = rpki.sign(1, b"msg")
+        assert not rpki.verify(1, b"other", sig)
+        assert not rpki.verify(1, b"msg", b"\x00" * 32)
+
+    def test_verify_rejects_wrong_signer(self, rpki):
+        rpki.register_as(1)
+        rpki.register_as(2)
+        sig = rpki.sign(1, b"msg")
+        assert not rpki.verify(2, b"msg", sig)
+
+    def test_verify_unknown_as_false(self, rpki):
+        assert not rpki.verify(9, b"msg", b"sig")
+
+    def test_deterministic_seeded_keys(self):
+        a, b = RPKI(seed=b"k"), RPKI(seed=b"k")
+        a.register_as(7)
+        b.register_as(7)
+        assert a.sign(7, b"m") == b.sign(7, b"m")
+
+    def test_different_seeds_different_keys(self):
+        a, b = RPKI(seed=b"k1"), RPKI(seed=b"k2")
+        a.register_as(7)
+        b.register_as(7)
+        assert a.sign(7, b"m") != b.sign(7, b"m")
+
+
+class TestROAs:
+    def test_issue_and_validate(self, rpki):
+        roa = rpki.issue_roa(PFX, 65001)
+        assert roa == ROA(prefix=PFX, asn=65001)
+        assert rpki.origin_valid(PFX, 65001)
+        assert not rpki.origin_valid(PFX, 65002)
+
+    def test_has_roa(self, rpki):
+        assert not rpki.has_roa(PFX)
+        rpki.issue_roa(PFX, 1)
+        assert rpki.has_roa(PFX)
+
+    def test_multiple_authorized_origins(self, rpki):
+        rpki.issue_roa(PFX, 1)
+        rpki.issue_roa(PFX, 2)
+        assert rpki.origin_valid(PFX, 1) and rpki.origin_valid(PFX, 2)
+
+    def test_issue_registers_key(self, rpki):
+        rpki.issue_roa(PFX, 77)
+        assert rpki.has_key(77)
+
+
+def test_prefix_str():
+    assert str(PFX) == "203.0.113.0/24"
+
+
+class TestDelegation:
+    """The §2.2.1 footnote: delegated keys cut both ways."""
+
+    def test_delegate_can_sign_for_owner(self, rpki):
+        rpki.delegate_key(owner=100, delegate=200)
+        sig = rpki.sign_for(200, 100, b"announce")
+        assert rpki.verify(100, b"announce", sig)
+
+    def test_non_delegate_rejected(self, rpki):
+        rpki.register_as(100)
+        rpki.register_as(300)
+        with pytest.raises(PermissionError):
+            rpki.sign_for(300, 100, b"announce")
+
+    def test_revocation(self, rpki):
+        rpki.delegate_key(owner=100, delegate=200)
+        rpki.revoke_delegation(100, 200)
+        with pytest.raises(PermissionError):
+            rpki.sign_for(200, 100, b"x")
+
+    def test_revoke_is_idempotent(self, rpki):
+        rpki.revoke_delegation(1, 2)  # nothing delegated; no error
+
+    def test_malicious_delegate_forges_valid_origination(self, rpki):
+        """The reduced security, concretely: a provider holding a
+        stub's key forges an origination that passes full validation."""
+        from repro.protocol.messages import Announcement, RouteAttestation
+
+        stub, provider, receiver = 100, 200, 50
+        rpki.delegate_key(owner=stub, delegate=provider)
+        rpki.issue_roa(PFX, stub)
+        payload = RouteAttestation.payload(PFX, (stub,), receiver)
+        forged = Announcement(
+            prefix=PFX,
+            path=(stub,),
+            attestations=(
+                RouteAttestation(
+                    signer=stub, path=(stub,), next_as=receiver,
+                    signature=rpki.sign_for(provider, stub, payload),
+                ),
+            ),
+        )
+        from repro.protocol.sbgp import validate_path
+
+        assert validate_path(rpki, forged, receiver=receiver)

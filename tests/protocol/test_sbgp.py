@@ -1,0 +1,100 @@
+"""Tests for S-BGP route attestations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.messages import Announcement
+from repro.protocol.rpki import Prefix, RPKI
+from repro.protocol.sbgp import (
+    forward,
+    originate,
+    sign_hop,
+    validate_path,
+    validated_signers,
+)
+
+PFX = Prefix("198.51.100.0", 24)
+
+
+@pytest.fixture()
+def rpki() -> RPKI:
+    r = RPKI(seed=b"sbgp")
+    for asn in (1, 2, 3, 4):
+        r.register_as(asn)
+    return r
+
+
+class TestSigning:
+    def test_originate_is_valid_at_receiver(self, rpki):
+        ann = originate(rpki, 1, PFX, next_as=2)
+        assert ann.path == (1,)
+        assert validate_path(rpki, ann, receiver=2)
+
+    def test_origination_not_valid_elsewhere(self, rpki):
+        """The next_as binding prevents replaying to another neighbor."""
+        ann = originate(rpki, 1, PFX, next_as=2)
+        assert not validate_path(rpki, ann, receiver=3)
+
+    def test_full_chain(self, rpki):
+        ann = originate(rpki, 1, PFX, next_as=2)
+        ann = forward(rpki, 2, ann, next_as=3)
+        ann = forward(rpki, 3, ann, next_as=4)
+        assert ann.path == (3, 2, 1)
+        assert validate_path(rpki, ann, receiver=4)
+        assert validated_signers(rpki, ann, 4) == {1, 2, 3}
+
+    def test_unsigned_hop_breaks_chain(self, rpki):
+        ann = originate(rpki, 1, PFX, next_as=2)
+        ann = forward(rpki, 2, ann, next_as=3, sign=False)
+        ann = forward(rpki, 3, ann, next_as=4)
+        assert not validate_path(rpki, ann, receiver=4)
+        assert validated_signers(rpki, ann, 4) == {1, 3}
+
+    def test_sign_hop_rejects_wrong_path_head(self, rpki):
+        with pytest.raises(ValueError):
+            sign_hop(rpki, 1, PFX, (2, 1), next_as=3)
+
+
+class TestAttacks:
+    def test_path_truncation_detected(self, rpki):
+        """Dropping an AS from the middle invalidates the chain because
+        each signature covers the full suffix it was made over."""
+        ann = originate(rpki, 1, PFX, next_as=2)
+        ann = forward(rpki, 2, ann, next_as=3)
+        # attacker at 3 claims the shortened path (3, 1), reusing 1's
+        # genuine attestation and signing its own hop toward 4
+        own = sign_hop(rpki, 3, PFX, (3, 1), next_as=4)
+        forged = Announcement(
+            prefix=PFX, path=(3, 1), attestations=ann.attestations + (own,)
+        )
+        assert not validate_path(rpki, forged, receiver=4)
+        # 1's signature does not verify for this splice: it was bound
+        # to next hop 2, not 3
+        assert validated_signers(rpki, forged, 4) == {3}
+
+    def test_fabricated_origin_detected(self, rpki):
+        forged = Announcement(prefix=PFX, path=(3, 1))
+        assert not validate_path(rpki, forged, receiver=4)
+        assert validated_signers(rpki, forged, 4) == set()
+
+    def test_splice_into_other_prefix_detected(self, rpki):
+        """Signatures bind the prefix: reusing them for another prefix fails."""
+        ann = originate(rpki, 1, PFX, next_as=2)
+        other = Prefix("203.0.113.0", 24)
+        forged = Announcement(prefix=other, path=(1,), attestations=ann.attestations)
+        assert not validate_path(rpki, forged, receiver=2)
+
+
+class TestAnnouncement:
+    def test_extended(self, rpki):
+        ann = originate(rpki, 1, PFX, next_as=2)
+        ext = ann.extended(2)
+        assert ext.path == (2, 1)
+        assert ext.origin == 1
+        assert ext.sender == 2
+
+    def test_loop_detection(self, rpki):
+        ann = originate(rpki, 1, PFX, next_as=2).extended(2)
+        assert ann.contains_loop(1)
+        assert not ann.contains_loop(3)

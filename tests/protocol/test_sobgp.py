@@ -1,0 +1,76 @@
+"""Tests for soBGP topology validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.messages import Announcement
+from repro.protocol.rpki import Prefix, RPKI
+from repro.protocol.sobgp import LinkCertificate, TopologyDatabase
+
+PFX = Prefix("192.0.2.0", 24)
+
+
+@pytest.fixture()
+def db() -> tuple[RPKI, TopologyDatabase]:
+    rpki = RPKI(seed=b"sobgp")
+    for asn in (1, 2, 3, 4):
+        rpki.register_as(asn)
+    rpki.issue_roa(PFX, 1)
+    database = TopologyDatabase(rpki)
+    database.certify_link(1, 2)
+    database.certify_link(2, 3)
+    return rpki, database
+
+
+class TestLinkCertificates:
+    def test_certified_links_symmetric(self, db):
+        _, database = db
+        assert database.link_certified(1, 2)
+        assert database.link_certified(2, 1)
+        assert not database.link_certified(1, 3)
+
+    def test_forged_certificate_rejected(self, db):
+        rpki, database = db
+        fake = LinkCertificate(a=1, b=4, signature_a=b"x" * 32, signature_b=b"y" * 32)
+        assert not database.add_certificate(fake)
+        assert not database.link_certified(1, 4)
+
+    def test_half_signed_certificate_rejected(self, db):
+        rpki, database = db
+        payload = LinkCertificate.payload(1, 4)
+        half = LinkCertificate(
+            a=1, b=4, signature_a=rpki.sign(1, payload), signature_b=b"z" * 32
+        )
+        assert not database.add_certificate(half)
+
+    def test_valid_external_certificate_accepted(self, db):
+        rpki, database = db
+        payload = LinkCertificate.payload(3, 4)
+        cert = LinkCertificate(
+            a=3, b=4,
+            signature_a=rpki.sign(3, payload),
+            signature_b=rpki.sign(4, payload),
+        )
+        assert database.add_certificate(cert)
+        assert database.link_certified(3, 4)
+
+
+class TestPathValidation:
+    def test_existing_path_valid(self, db):
+        _, database = db
+        assert database.validate_path(Announcement(prefix=PFX, path=(3, 2, 1)))
+
+    def test_fabricated_link_invalid(self, db):
+        """The soBGP guarantee: paths through non-existent links fail."""
+        _, database = db
+        assert not database.validate_path(Announcement(prefix=PFX, path=(3, 1)))
+
+    def test_wrong_origin_invalid(self, db):
+        _, database = db
+        # path exists physically but 2 is not authorized for the prefix
+        assert not database.validate_path(Announcement(prefix=PFX, path=(3, 2)))
+
+    def test_single_hop_origin_only(self, db):
+        _, database = db
+        assert database.validate_path(Announcement(prefix=PFX, path=(1,)))

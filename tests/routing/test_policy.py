@@ -1,0 +1,57 @@
+"""Tests for the policy model primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.policy import (
+    RouteClass,
+    exportable_to,
+    tie_hash,
+    tie_hash_array,
+)
+
+
+class TestRouteClass:
+    def test_local_preference_order(self):
+        # LP: customer > peer > provider; SELF beats everything
+        assert RouteClass.SELF > RouteClass.CUSTOMER > RouteClass.PEER > RouteClass.PROVIDER
+        assert RouteClass.UNREACHABLE < RouteClass.PROVIDER
+
+
+class TestTieHash:
+    def test_deterministic(self):
+        assert tie_hash(3, 7) == tie_hash(3, 7)
+
+    def test_asymmetric(self):
+        assert tie_hash(3, 7) != tie_hash(7, 3)
+
+    def test_array_matches_scalar(self):
+        nodes = np.array([1, 2, 3], dtype=np.uint64)
+        cands = np.array([9, 8, 7], dtype=np.uint64)
+        arr = tie_hash_array(nodes, cands)
+        for n, c, h in zip(nodes, cands, arr):
+            assert tie_hash(int(n), int(c)) == int(h)
+
+    def test_spread(self):
+        """Hashes should look uniform: no obvious collisions or order bias."""
+        values = [tie_hash(0, c) for c in range(1000)]
+        assert len(set(values)) == 1000
+        low = sum(1 for a, b in zip(values, values[1:]) if a < b)
+        assert 400 < low < 600
+
+
+class TestExportRule:
+    def test_everything_exports_to_customers(self):
+        for rc in (RouteClass.CUSTOMER, RouteClass.PEER, RouteClass.PROVIDER, RouteClass.SELF):
+            assert exportable_to(rc, neighbor_is_customer=True)
+
+    def test_unreachable_never_exports(self):
+        assert not exportable_to(RouteClass.UNREACHABLE, True)
+        assert not exportable_to(RouteClass.UNREACHABLE, False)
+
+    def test_gr2_to_peers_and_providers(self):
+        assert exportable_to(RouteClass.CUSTOMER, False)
+        assert exportable_to(RouteClass.SELF, False)
+        assert not exportable_to(RouteClass.PEER, False)
+        assert not exportable_to(RouteClass.PROVIDER, False)

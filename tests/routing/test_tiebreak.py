@@ -1,0 +1,78 @@
+"""Tests for tiebreak-set statistics (Fig. 10 / §6.6-6.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.tiebreak import (
+    collect_tiebreak_stats,
+    mean_path_length,
+    security_sensitive_decision_fraction,
+)
+from repro.topology.graph import ASGraph
+
+
+class TestSmallGraph:
+    @pytest.fixture()
+    def diamond(self) -> ASGraph:
+        g = ASGraph()
+        for asn in (1, 2, 3, 4):
+            g.add_as(asn)
+        g.add_customer_provider(provider=1, customer=2)
+        g.add_customer_provider(provider=1, customer=3)
+        g.add_customer_provider(provider=2, customer=4)
+        g.add_customer_provider(provider=3, customer=4)
+        return g
+
+    def test_histogram_counts_pairs(self, diamond):
+        stats = collect_tiebreak_stats(diamond)
+        total_pairs = sum(stats.histogram.values())
+        # reachable (src, dest) pairs excluding src == dest
+        assert total_pairs == 12
+
+    def test_multipath_detected(self, diamond):
+        stats = collect_tiebreak_stats(diamond)
+        assert stats.histogram.get(2, 0) >= 1  # node 1 toward dest 4
+        assert stats.multi_path_fraction > 0
+
+    def test_ccdf_monotone(self, diamond):
+        stats = collect_tiebreak_stats(diamond)
+        ccdf = stats.ccdf()
+        values = [p for _, p in ccdf]
+        assert values == sorted(values, reverse=True)
+        assert ccdf[0][1] == pytest.approx(1.0)
+
+    def test_destination_subset(self, diamond):
+        stats = collect_tiebreak_stats(diamond, destinations=[diamond.index(4)])
+        assert sum(stats.histogram.values()) == 3
+
+    def test_mean_path_length(self, diamond):
+        # per destination the three other nodes sum to 4 hops (1+1+2),
+        # e.g. dest 4: 2->4 and 3->4 direct, 1->4 two hops; 12 pairs total
+        assert mean_path_length(diamond) == pytest.approx(16 / 12)
+
+
+class TestPaperStatistics:
+    """The paper's headline tiebreak numbers at synthetic scale."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, small_graph, small_cache):
+        return collect_tiebreak_stats(
+            small_graph, dest_routing=small_cache.dest_routing
+        )
+
+    def test_mean_is_small(self, stats):
+        # paper: mean 1.18 across pairs; generous bounds for synthetic
+        assert 1.0 <= stats.mean <= 1.8
+
+    def test_isps_have_larger_sets_than_stubs(self, stats):
+        assert stats.mean_isp >= stats.mean_stub
+
+    def test_most_pairs_single_path(self, stats):
+        # paper: only ~20% of tiebreak sets have more than one path
+        assert stats.multi_path_fraction < 0.5
+
+    def test_security_sensitive_fraction(self, small_graph, stats):
+        # paper (§6.7): ~3.5% of routing decisions
+        frac = security_sensitive_decision_fraction(small_graph, stats)
+        assert 0.0 < frac < 0.15

@@ -1,0 +1,129 @@
+"""Tests for the §8.3 routing-policy variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.cache import POLICIES, RoutingCache
+from repro.routing.fast_tree import compute_tree, subtree_weights
+from repro.routing.policy import RouteClass
+from repro.routing.variants import compute_dest_routing_sp_first, restrict_to_primary
+from repro.topology.graph import ASGraph
+
+
+def valley_graph() -> ASGraph:
+    """1 reaches 3 via a 3-hop customer chain or a 2-hop peer route."""
+    g = ASGraph()
+    for asn in (1, 2, 5, 3, 4):
+        g.add_as(asn)
+    g.add_customer_provider(provider=1, customer=2)
+    g.add_customer_provider(provider=2, customer=5)
+    g.add_customer_provider(provider=5, customer=3)
+    g.add_customer_provider(provider=4, customer=3)
+    g.add_peering(1, 4)
+    return g
+
+
+class TestSpFirst:
+    def test_sp_beats_lp(self):
+        """The defining difference: a shorter peer route now beats a
+        longer customer route."""
+        g = valley_graph()
+        dr = compute_dest_routing_sp_first(g, g.index(3))
+        i1 = g.index(1)
+        assert dr.lengths[i1] == 2
+        assert dr.cls[i1] == int(RouteClass.PEER)
+        assert list(dr.tiebreak_set(i1)) == [g.index(4)]
+
+    def test_gao_rexford_prefers_customer(self):
+        """Sanity: the default policy picks the longer customer chain."""
+        from repro.routing.tree import compute_dest_routing
+
+        g = valley_graph()
+        dr = compute_dest_routing(g, g.index(3))
+        i1 = g.index(1)
+        assert dr.cls[i1] == int(RouteClass.CUSTOMER)
+        assert dr.lengths[i1] == 3
+
+    def test_lp_still_second_criterion(self):
+        """Equal-length customer and peer candidates: customer wins."""
+        g = ASGraph()
+        for asn in (1, 2, 3, 4):
+            g.add_as(asn)
+        g.add_customer_provider(provider=1, customer=2)
+        g.add_customer_provider(provider=2, customer=3)
+        g.add_customer_provider(provider=4, customer=3)
+        g.add_peering(1, 4)
+        dr = compute_dest_routing_sp_first(g, g.index(3))
+        i1 = g.index(1)
+        assert dr.cls[i1] == int(RouteClass.CUSTOMER)
+        assert list(dr.tiebreak_set(i1)) == [g.index(2)]
+
+    def test_gr2_still_enforced(self):
+        """A peer route is still not exportable over another peering."""
+        g = ASGraph()
+        for asn in (1, 2, 3):
+            g.add_as(asn)
+        g.add_peering(1, 2)
+        g.add_peering(2, 3)
+        dr = compute_dest_routing_sp_first(g, g.index(3))
+        assert dr.lengths[g.index(1)] == -1
+
+    def test_paths_never_longer_than_gao_rexford(self, small_graph):
+        from repro.routing.tree import compute_dest_routing
+
+        for dest in range(0, small_graph.n, 23):
+            base = compute_dest_routing(small_graph, dest)
+            sp = compute_dest_routing_sp_first(small_graph, dest)
+            reachable = base.lengths >= 0
+            assert (sp.lengths[reachable] <= base.lengths[reachable]).all()
+
+    def test_game_engine_runs_on_variant(self, small_graph):
+        secure = np.zeros(small_graph.n, dtype=bool)
+        secure[::4] = True
+        dr = compute_dest_routing_sp_first(small_graph, 3)
+        tree = compute_tree(dr, secure, secure)
+        w = subtree_weights(dr, tree, small_graph.weights)
+        assert w.sum() >= 0
+
+    def test_policy_registry(self, small_graph):
+        cache = RoutingCache(small_graph, policy="sp-first")
+        assert cache.dest_routing(0).dest == 0
+        with pytest.raises(ValueError):
+            RoutingCache(small_graph, policy="nonsense")
+        assert set(POLICIES) >= {"gao-rexford", "sp-first"}
+
+
+class TestStickyPrimaries:
+    def test_sticky_nodes_get_singletons(self, small_graph, small_cache):
+        dr = small_cache.dest_routing(7)
+        sticky = np.ones(small_graph.n, dtype=bool)
+        restricted = restrict_to_primary(dr, sticky)
+        sizes = restricted.tiebreak_sizes()
+        assert (sizes[1:] == 1).all()
+
+    def test_primary_matches_insecure_choice(self, small_graph, small_cache):
+        """The surviving candidate is the security-free hash choice, so
+        insecure routing is unchanged."""
+        dr = small_cache.dest_routing(11)
+        none = np.zeros(small_graph.n, dtype=bool)
+        before = compute_tree(dr, none, none)
+        sticky = np.ones(small_graph.n, dtype=bool)
+        after = compute_tree(restrict_to_primary(dr, sticky), none, none)
+        assert (before.choice == after.choice).all()
+
+    def test_non_sticky_untouched(self, small_graph, small_cache):
+        dr = small_cache.dest_routing(5)
+        sticky = np.zeros(small_graph.n, dtype=bool)
+        restricted = restrict_to_primary(dr, sticky)
+        assert (restricted.indptr == dr.indptr).all()
+        assert (restricted.cands == dr.cands).all()
+
+    def test_cache_transform_hook(self, small_graph):
+        sticky = np.ones(small_graph.n, dtype=bool)
+        cache = RoutingCache(
+            small_graph, transform=lambda dr: restrict_to_primary(dr, sticky)
+        )
+        sizes = cache.dest_routing(9).tiebreak_sizes()
+        assert (sizes[1:] == 1).all()

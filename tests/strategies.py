@@ -1,0 +1,75 @@
+"""Hypothesis strategies shared across the test suite.
+
+``as_graphs`` generates small random AS graphs that satisfy GR1 by
+construction: every AS gets a hierarchy level and providers are always
+drawn from strictly lower levels, so the customer->provider relation is
+acyclic.  Peerings connect same-level pairs.  The shapes intentionally
+include disconnected nodes, chains, multihoming and CP designations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.topology.graph import ASGraph
+
+
+@st.composite
+def as_graphs(
+    draw: st.DrawFn,
+    min_nodes: int = 4,
+    max_nodes: int = 20,
+    with_cps: bool = False,
+) -> ASGraph:
+    n = draw(st.integers(min_nodes, max_nodes))
+    levels = [draw(st.integers(0, 3)) for _ in range(n)]
+    if 0 not in levels:
+        levels[0] = 0
+
+    cps: list[int] = []
+    if with_cps:
+        cp_count = draw(st.integers(0, min(2, n)))
+        cps = [100 + i for i in range(cp_count)]
+
+    graph = ASGraph(cp_asns=cps)
+    asns = [100 + i for i in range(n)]
+    for asn in asns:
+        graph.add_as(asn)
+
+    for i, asn in enumerate(asns):
+        if levels[i] == 0:
+            continue
+        uppers = [asns[j] for j in range(n) if levels[j] < levels[i]]
+        if not uppers:
+            continue
+        k = draw(st.integers(0, min(2, len(uppers))))
+        providers = draw(
+            st.lists(st.sampled_from(uppers), min_size=k, max_size=k, unique=True)
+        )
+        for p in providers:
+            graph.add_customer_provider(provider=p, customer=asn)
+
+    num_peerings = draw(st.integers(0, n))
+    for _ in range(num_peerings):
+        i = draw(st.integers(0, n - 1))
+        same = [asns[j] for j in range(n) if levels[j] == levels[i] and j != i]
+        if not same:
+            continue
+        other = draw(st.sampled_from(same))
+        if not graph.has_edge(asns[i], other):
+            graph.add_peering(asns[i], other)
+
+    graph.validate()
+    return graph
+
+
+@st.composite
+def graphs_with_security(
+    draw: st.DrawFn, min_nodes: int = 4, max_nodes: int = 16
+) -> tuple[ASGraph, list[int]]:
+    """A random graph plus a random subset of node indices made secure."""
+    graph = draw(as_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    secure = draw(
+        st.lists(st.integers(0, graph.n - 1), max_size=graph.n, unique=True)
+    )
+    return graph, secure

@@ -1,0 +1,79 @@
+"""Tests for the Appendix-D CP-peering augmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.augment import augment_cp_peering, mean_cp_path_length
+from repro.topology.generator import generate_topology
+
+
+@pytest.fixture(scope="module")
+def augmented_pair():
+    base = generate_topology(n=300, seed=13)
+    before = {cp: mean_cp_path_length(base.graph, cp) for cp in base.cp_asns}
+    graph = base.graph.copy()
+    graph.set_content_providers(base.cp_asns)
+    report = augment_cp_peering(
+        graph,
+        base.all_ixp_member_asns,
+        target_mean_path_length=2.0,
+        seed=13,
+    )
+    return base, graph, before, report
+
+
+class TestAugmentation:
+    def test_path_lengths_drop(self, augmented_pair):
+        base, graph, before, report = augmented_pair
+        for cp in base.cp_asns:
+            after = mean_cp_path_length(graph, cp)
+            assert after <= before[cp] + 1e-9
+
+    def test_peerings_added(self, augmented_pair):
+        base, graph, before, report = augmented_pair
+        assert sum(report.added_peerings.values()) > 0
+        assert graph.num_peering_edges() > base.graph.num_peering_edges()
+
+    def test_cp_degree_grows(self, augmented_pair):
+        base, graph, before, report = augmented_pair
+        for cp in base.cp_asns:
+            # Table 4's direction: CP degree grows several-fold; the
+            # absolute Tier-1 parity of the paper needs the IXP pool of
+            # a full-size graph.
+            assert graph.degree(cp) >= 3 * base.graph.degree(cp)
+
+    def test_graph_still_valid(self, augmented_pair):
+        _, graph, _, _ = augmented_pair
+        graph.validate()
+
+    def test_cp_customers_removed(self, augmented_pair):
+        base, graph, _, report = augmented_pair
+        for cp in base.cp_asns:
+            assert graph.customers_of(cp) == []
+
+    def test_keep_customers_option(self):
+        base = generate_topology(n=150, seed=14)
+        graph = base.graph.copy()
+        graph.set_content_providers(base.cp_asns)
+        report = augment_cp_peering(
+            graph,
+            base.all_ixp_member_asns,
+            remove_cp_customers=False,
+            target_mean_path_length=2.0,
+            seed=1,
+        )
+        assert all(not removed for removed in report.removed_customers.values())
+
+    def test_respects_per_cp_limit(self):
+        base = generate_topology(n=150, seed=15)
+        graph = base.graph.copy()
+        graph.set_content_providers(base.cp_asns)
+        report = augment_cp_peering(
+            graph,
+            base.all_ixp_member_asns,
+            target_mean_path_length=1.0,  # unreachable: forces the limit
+            max_new_peerings_per_cp=3,
+            seed=1,
+        )
+        assert all(count <= 3 for count in report.added_peerings.values())

@@ -1,0 +1,103 @@
+"""The synthetic topology must reproduce the paper's structural stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.relationships import ASRole
+from repro.topology.stats import multihomed_stub_fraction, summarize, top_by_degree
+
+
+class TestConfigValidation:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n=5)
+
+    def test_bad_stub_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(stub_fraction=1.5)
+
+    def test_bad_multihoming_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(stub_multihoming=(0.5, 0.5, 0.5))
+
+    def test_overrides_via_kwargs(self):
+        top = generate_topology(n=120, seed=9, num_tier1=4)
+        assert top.config.n == 120
+        assert len(top.tier1_asns) == 4
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return generate_topology(n=600, seed=11)
+
+    def test_gr1_holds(self, topology):
+        topology.graph.validate()  # raises on a cycle
+
+    def test_stub_fraction_near_85_percent(self, topology):
+        s = summarize(topology.graph)
+        assert abs(s.stub_fraction - 0.85) < 0.03
+
+    def test_five_content_providers(self, topology):
+        assert summarize(topology.graph).num_cps == 5
+        for cp in topology.cp_asns:
+            assert topology.graph.role(cp) is ASRole.CP
+            # CPs never provide transit
+            assert topology.graph.customers_of(cp) == []
+
+    def test_tier1_clique_peering(self, topology):
+        t1 = topology.tier1_asns
+        for i, a in enumerate(t1):
+            for b in t1[i + 1:]:
+                assert topology.graph.has_edge(a, b)
+
+    def test_tier1s_have_no_providers(self, topology):
+        for asn in topology.tier1_asns:
+            assert topology.graph.providers_of(asn) == []
+
+    def test_everyone_else_has_a_provider(self, topology):
+        g = topology.graph
+        t1 = set(topology.tier1_asns)
+        for asn in g.asns:
+            if asn not in t1:
+                assert g.providers_of(asn), f"AS {asn} has no provider"
+
+    def test_peering_ratio_near_target(self, topology):
+        s = summarize(topology.graph)
+        ratio = s.num_peering_edges / s.num_ases
+        assert 0.7 <= ratio <= 1.4  # paper: ~1.05
+
+    def test_degree_skew(self, topology):
+        """Top ASes must dwarf the median (the skew the paper leverages)."""
+        g = topology.graph
+        top = top_by_degree(g, 1)[0]
+        degrees = sorted(g.degree(a) for a in g.asns)
+        median = degrees[len(degrees) // 2]
+        assert g.degree(top) > 10 * median
+
+    def test_multihoming_exists(self, topology):
+        """Without multihomed stubs there are no DIAMONDs to compete over."""
+        assert multihomed_stub_fraction(topology.graph) > 0.3
+
+    def test_ixp_members_are_in_graph(self, topology):
+        for members in topology.ixp_members:
+            for asn in members:
+                assert asn in topology.graph
+
+    def test_all_ixp_member_asns_deduplicated(self, topology):
+        flat = topology.all_ixp_member_asns
+        assert len(flat) == len(set(flat))
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_topology(n=150, seed=4)
+        b = generate_topology(n=150, seed=4)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_different_seed_different_graph(self):
+        a = generate_topology(n=150, seed=4)
+        b = generate_topology(n=150, seed=5)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())

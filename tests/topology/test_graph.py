@@ -1,0 +1,169 @@
+"""Unit tests for the annotated AS graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.errors import (
+    DuplicateASError,
+    DuplicateEdgeError,
+    RelationshipCycleError,
+    UnknownASError,
+)
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import ASRole, Relationship
+
+
+def build_triangle() -> ASGraph:
+    g = ASGraph()
+    for asn in (1, 2, 3):
+        g.add_as(asn)
+    g.add_customer_provider(provider=1, customer=2)
+    g.add_customer_provider(provider=1, customer=3)
+    g.add_peering(2, 3)
+    return g
+
+
+class TestConstruction:
+    def test_add_as_returns_dense_indices(self):
+        g = ASGraph()
+        assert g.add_as(100) == 0
+        assert g.add_as(7) == 1
+        assert g.index(100) == 0
+        assert g.asn(1) == 7
+
+    def test_duplicate_as_rejected(self):
+        g = ASGraph()
+        g.add_as(1)
+        with pytest.raises(DuplicateASError):
+            g.add_as(1)
+
+    def test_ensure_as_is_idempotent(self):
+        g = ASGraph()
+        assert g.ensure_as(5) == g.ensure_as(5) == 0
+        assert g.n == 1
+
+    def test_edges_require_known_ases(self):
+        g = ASGraph()
+        g.add_as(1)
+        with pytest.raises(UnknownASError):
+            g.add_customer_provider(provider=1, customer=2)
+
+    def test_duplicate_edge_rejected(self):
+        g = build_triangle()
+        with pytest.raises(DuplicateEdgeError):
+            g.add_peering(1, 2)
+        with pytest.raises(DuplicateEdgeError):
+            g.add_customer_provider(provider=2, customer=1)
+
+    def test_self_loop_rejected(self):
+        g = ASGraph()
+        g.add_as(1)
+        with pytest.raises(DuplicateEdgeError):
+            g.add_peering(1, 1)
+
+    def test_remove_edge(self):
+        g = build_triangle()
+        g.remove_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert g.peers_of(2) == []
+        g.add_peering(2, 3)  # can re-add after removal
+        assert g.has_edge(2, 3)
+
+
+class TestAccessors:
+    def test_relationship_views(self):
+        g = build_triangle()
+        assert g.relationship(1, 2) is Relationship.CUSTOMER
+        assert g.relationship(2, 1) is Relationship.PROVIDER
+        assert g.relationship(2, 3) is Relationship.PEER
+        with pytest.raises(KeyError):
+            g.relationship(2, 2)
+
+    def test_neighbor_lists(self):
+        g = build_triangle()
+        assert g.customers_of(1) == [2, 3]
+        assert g.providers_of(2) == [1]
+        assert g.peers_of(3) == [2]
+
+    def test_degree(self):
+        g = build_triangle()
+        assert g.degree(1) == 2
+        assert g.degree(2) == 2
+
+    def test_edge_iteration_counts(self):
+        g = build_triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert g.num_customer_provider_edges() == 2
+        assert g.num_peering_edges() == 1
+
+    def test_contains_and_len(self):
+        g = build_triangle()
+        assert 1 in g and 9 not in g
+        assert len(g) == 3
+
+
+class TestRolesAndWeights:
+    def test_role_classification(self):
+        g = ASGraph(cp_asns=[3])
+        for asn in (1, 2, 3):
+            g.add_as(asn)
+        g.add_customer_provider(provider=1, customer=2)
+        g.add_customer_provider(provider=1, customer=3)
+        assert g.role(1) is ASRole.ISP
+        assert g.role(2) is ASRole.STUB
+        assert g.role(3) is ASRole.CP
+
+    def test_roles_recomputed_after_mutation(self):
+        g = ASGraph()
+        g.add_as(1)
+        g.add_as(2)
+        assert g.role(1) is ASRole.STUB
+        g.add_customer_provider(provider=1, customer=2)
+        assert g.role(1) is ASRole.ISP
+
+    def test_weights_default_unit(self):
+        g = build_triangle()
+        assert np.allclose(g.weights, 1.0)
+
+    def test_set_weight(self):
+        g = build_triangle()
+        g.set_weight(2, 5.5)
+        assert g.weights[g.index(2)] == 5.5
+
+    def test_negative_weight_rejected(self):
+        g = build_triangle()
+        with pytest.raises(ValueError):
+            g.set_weight(2, -1.0)
+
+    def test_set_content_providers(self):
+        g = build_triangle()
+        g.set_content_providers([2])
+        assert g.role(2) is ASRole.CP
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        build_triangle().validate()
+
+    def test_provider_cycle_detected(self):
+        g = ASGraph()
+        for asn in (1, 2, 3):
+            g.add_as(asn)
+        g.add_customer_provider(provider=1, customer=2)
+        g.add_customer_provider(provider=2, customer=3)
+        g.add_customer_provider(provider=3, customer=1)
+        with pytest.raises(RelationshipCycleError) as exc:
+            g.validate()
+        assert len(exc.value.cycle) >= 3
+
+    def test_copy_is_independent(self):
+        g = build_triangle()
+        g2 = g.copy()
+        g2.add_as(99)
+        g2.add_customer_provider(provider=1, customer=99)
+        assert 99 not in g
+        assert g.degree(1) == 2
+        assert g2.degree(1) == 3

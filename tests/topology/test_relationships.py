@@ -1,0 +1,34 @@
+"""Tests for relationship enums and their conventions."""
+
+from __future__ import annotations
+
+from repro.topology.relationships import (
+    CAIDA_PEER_TO_PEER,
+    CAIDA_PROVIDER_TO_CUSTOMER,
+    ASRole,
+    Relationship,
+)
+
+
+class TestRelationship:
+    def test_flipped_inverts_customer_provider(self):
+        assert Relationship.CUSTOMER.flipped() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.flipped() is Relationship.CUSTOMER
+
+    def test_flipped_peer_is_peer(self):
+        assert Relationship.PEER.flipped() is Relationship.PEER
+
+    def test_caida_codes(self):
+        assert CAIDA_PROVIDER_TO_CUSTOMER == -1
+        assert CAIDA_PEER_TO_PEER == 0
+
+
+class TestASRole:
+    def test_roles_are_distinct(self):
+        assert len({ASRole.STUB, ASRole.ISP, ASRole.CP}) == 3
+
+    def test_int_values_stable(self):
+        # these values are baked into numpy role arrays
+        assert int(ASRole.STUB) == 0
+        assert int(ASRole.ISP) == 1
+        assert int(ASRole.CP) == 2

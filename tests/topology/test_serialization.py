@@ -1,0 +1,77 @@
+"""Round-trip and error tests for the CAIDA as-rel format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.errors import GraphFormatError
+from repro.topology.generator import generate_topology
+from repro.topology.serialization import dumps_as_rel, load_as_rel, loads_as_rel
+
+
+SAMPLE = """\
+# a comment
+# cp: 30
+1|2|-1
+1|3|-1
+2|3|0
+3|30|-1
+"""
+
+
+class TestLoading:
+    def test_parse_sample(self):
+        g = loads_as_rel(SAMPLE)
+        assert g.n == 4
+        assert g.customers_of(1) == [2, 3]
+        assert g.peers_of(2) == [3]
+        assert g.cp_asns == {30}
+
+    def test_explicit_cps_union_with_markers(self):
+        g = loads_as_rel(SAMPLE, cp_asns=[2])
+        assert g.cp_asns == {2, 30}
+
+    def test_bad_line_raises_with_lineno(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            loads_as_rel("1|2\n")
+
+    def test_non_integer_field(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            loads_as_rel("1|x|0\n")
+
+    def test_unknown_relationship_code(self):
+        with pytest.raises(GraphFormatError, match="unknown relationship"):
+            loads_as_rel("1|2|7\n")
+
+    def test_bad_cp_marker(self):
+        with pytest.raises(GraphFormatError, match="bad cp marker"):
+            loads_as_rel("# cp: abc\n")
+
+    def test_blank_lines_ignored(self):
+        g = loads_as_rel("\n\n1|2|-1\n\n")
+        assert g.n == 2
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "graph.as-rel"
+        path.write_text(SAMPLE)
+        g = load_as_rel(path)
+        assert g.n == 4
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        top = generate_topology(n=120, seed=8)
+        text = dumps_as_rel(top.graph)
+        g2 = loads_as_rel(text)
+        assert g2.n == top.graph.n
+        assert g2.cp_asns == top.graph.cp_asns
+        assert sorted(g2.edges()) == sorted(top.graph.edges())
+
+    def test_dump_to_path(self, tmp_path):
+        top = generate_topology(n=60, seed=8)
+        path = tmp_path / "out.as-rel"
+        from repro.topology.serialization import dump_as_rel
+
+        dump_as_rel(top.graph, path)
+        g2 = load_as_rel(path)
+        assert g2.n == top.graph.n
