@@ -1,12 +1,16 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test bench bench-large examples lint-clean
+.PHONY: install test test-resilience bench bench-large examples lint-clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Fault-injection and checkpoint/resume tests only (the resilience layer).
+test-resilience:
+	pytest tests/runtime tests/parallel/test_faults.py tests/experiments/test_resume.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

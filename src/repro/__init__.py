@@ -23,7 +23,10 @@ Subpackages:
 - :mod:`repro.protocol` — RPKI / S-BGP / soBGP message-level substrate
   and the attack library;
 - :mod:`repro.gadgets`  — the paper's theory constructions, runnable;
-- :mod:`repro.parallel` — map-reduce substrate (DryadLINQ stand-in);
+- :mod:`repro.parallel` — crash-tolerant map-reduce substrate
+  (DryadLINQ stand-in);
+- :mod:`repro.runtime`  — resilience layer: atomic persistence, run
+  journals (checkpoint/resume), retry policy, fault injection;
 - :mod:`repro.experiments` — the harness regenerating every table and
   figure.
 """

@@ -59,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "experiment":
             p.add_argument("--id", default=None,
                            help="experiment id (omit to list all)")
+        if name == "sweep":
+            p.add_argument("--journal", default=None, metavar="PATH",
+                           help="checkpoint each finished cell to this "
+                                "JSONL journal (repro.run-journal/1)")
+            p.add_argument("--resume", action="store_true",
+                           help="replay completed cells from an existing "
+                                "--journal instead of recomputing them")
+            p.add_argument("--out", default=None, metavar="PATH",
+                           help="also write the table to PATH (atomic)")
     return parser
 
 
@@ -93,12 +102,33 @@ def _cmd_case_study(env, args) -> None:
 
 
 def _cmd_sweep(env, args) -> None:
-    cells = run_sweep(env)
-    print(format_table(
+    from repro.runtime.errors import JournalError
+    from repro.runtime.journal import RunJournal
+
+    journal = None
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    if args.journal:
+        journal = RunJournal(args.journal)
+        if journal.exists() and not args.resume:
+            raise SystemExit(
+                f"journal {args.journal} already exists; "
+                f"pass --resume to continue it or choose a fresh path"
+            )
+    try:
+        cells = run_sweep(env, journal=journal)
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from exc
+    table = format_table(
         ["adopters", "theta", "frac ASes", "frac ISPs", "frac paths", "f^2", "rounds", "outcome"],
         cells_to_rows(cells),
         title="Fig 8/9: adoption and secure paths vs theta",
-    ))
+    )
+    print(table)
+    if args.out:
+        from repro.experiments.report import write_report
+
+        write_report(args.out, table)
 
 
 def _cmd_tiebreak(env, args) -> None:

@@ -20,14 +20,20 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.core.config import SimulationConfig
 from repro.core.engine import RoundData, compute_round_data
 from repro.core.pricing import LINEAR_PRICING, Pricing
 from repro.core.projection import Projection, project_flip
 from repro.core.state import DeploymentState, StateDeriver
 from repro.routing.cache import RoutingCache
+from repro.runtime.journal import RunJournal, coerce_journal
 from repro.topology.graph import ASGraph
 from repro.topology.relationships import ASRole
+
+#: journal ``kind`` for single-simulation round traces
+SIMULATION_JOURNAL_KIND = "simulation"
 
 
 class Outcome(enum.Enum):
@@ -173,9 +179,20 @@ class DeploymentSimulation:
                 [i for i in self._isp_indices if i in players], dtype=np.int64
             )
 
-    def run(self) -> SimulationResult:
-        """Run rounds until stability, oscillation, or the round cap."""
+    def run(self, journal: RunJournal | str | Path | None = None) -> SimulationResult:
+        """Run rounds until stability, oscillation, or the round cap.
+
+        A single long simulation (hours at paper scale) can journal its
+        progress: pass a :class:`~repro.runtime.journal.RunJournal` (or
+        path) and a compact summary of every completed round — plus a
+        final outcome record — is durably appended, so a crash leaves a
+        readable trace of how far the game got (Fig-3-style per-round
+        series are recoverable from it).
+        """
         cfg = self.config
+        journal = coerce_journal(journal)
+        if journal is not None:
+            journal.ensure_header(SIMULATION_JOURNAL_KIND, self._journal_meta())
         starting = self._starting_utilities()
         rounds: list[RoundRecord] = []
         seen_states: dict[frozenset[int], int] = {self.state.deployers: 0}
@@ -185,6 +202,8 @@ class DeploymentSimulation:
         for index in range(1, cfg.max_rounds + 1):
             record = self._play_round(index, rd)
             rounds.append(record)
+            if journal is not None:
+                journal.append(self._round_summary(record))
             if not record.turned_on and not record.turned_off:
                 outcome = Outcome.STABLE
                 break
@@ -198,6 +217,13 @@ class DeploymentSimulation:
                 break
             seen_states[key] = index
 
+        if journal is not None:
+            journal.append({
+                "type": "final",
+                "outcome": outcome.value,
+                "num_rounds": len(rounds),
+                "final_secure_ases": int(rd.node_secure.sum()),
+            })
         return SimulationResult(
             graph=self.graph,
             config=cfg,
@@ -209,6 +235,29 @@ class DeploymentSimulation:
             starting_utilities=starting,
             outcome=outcome,
         )
+
+    def _journal_meta(self) -> dict:
+        graph = self.graph
+        return {
+            "num_ases": graph.n,
+            "theta": self.config.theta,
+            "utility_model": self.config.utility_model.value,
+            "stub_breaks_ties": self.config.stub_breaks_ties,
+            "max_rounds": self.config.max_rounds,
+            "early_adopters": sorted(
+                graph.asn(i) for i in self.state.early_adopters
+            ),
+        }
+
+    def _round_summary(self, record: RoundRecord) -> dict:
+        graph = self.graph
+        return {
+            "type": "round",
+            "index": record.index,
+            "secure_ases": record.num_secure_ases,
+            "turned_on": sorted(graph.asn(i) for i in record.turned_on),
+            "turned_off": sorted(graph.asn(i) for i in record.turned_off),
+        }
 
     def _theta_of(self, isp: int) -> float:
         if self.thresholds is not None:
@@ -281,9 +330,10 @@ def run_deployment(
     player_asns: Iterable[int] | None = None,
     thresholds: np.ndarray | None = None,
     pricing: Pricing | None = None,
+    journal: RunJournal | str | Path | None = None,
 ) -> SimulationResult:
     """One-call wrapper around :class:`DeploymentSimulation`."""
     sim = DeploymentSimulation(
         graph, early_adopter_asns, config, cache, player_asns, thresholds, pricing
     )
-    return sim.run()
+    return sim.run(journal=journal)

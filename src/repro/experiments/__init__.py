@@ -11,6 +11,7 @@ from repro.experiments.cp_vs_tier1 import (
     run_graph_comparison,
 )
 from repro.experiments.persistence import (
+    RESULT_FORMAT,
     load_result_summary,
     result_to_dict,
     save_result,
@@ -21,12 +22,20 @@ from repro.experiments.registry import (
     list_experiments,
     run_experiment,
 )
-from repro.experiments.report import format_percent, format_series, format_table
+from repro.experiments.report import (
+    format_percent,
+    format_series,
+    format_table,
+    write_report,
+)
 from repro.experiments.scaling import ScalePoint, run_scaling_study
 from repro.experiments.setup import ExperimentEnv, build_environment
 from repro.experiments.sweeps import (
     DEFAULT_THETAS,
+    SWEEP_JOURNAL_KIND,
     SweepCell,
+    cell_from_dict,
+    cell_to_dict,
     cells_to_rows,
     run_sweep,
     stub_tiebreak_comparison,
@@ -44,11 +53,15 @@ __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "ExperimentEnv",
+    "RESULT_FORMAT",
+    "SWEEP_JOURNAL_KIND",
     "ScalePoint",
     "SweepCell",
     "TurnOffCensus",
     "build_environment",
     "build_report",
+    "cell_from_dict",
+    "cell_to_dict",
     "cells_to_rows",
     "format_percent",
     "format_series",
@@ -66,4 +79,5 @@ __all__ = [
     "save_result",
     "stub_tiebreak_comparison",
     "whole_network_turn_off_census",
+    "write_report",
 ]

@@ -5,6 +5,12 @@ helpers serialise the decision-relevant trace of a
 :class:`~repro.core.dynamics.SimulationResult` — per-round adopters,
 security counts, utilities of tracked ASes — into plain JSON.  Routing
 trees are not persisted (they are recomputable from the graph + state).
+
+Writes are atomic (temp + fsync + ``os.replace``) and checksummed via
+:mod:`repro.runtime.atomic`; an interrupt mid-save can no longer leave
+a truncated file shadowing a previous good result, and loaders raise
+the typed errors of :mod:`repro.runtime.errors` (never a raw
+``json.JSONDecodeError``) on damaged input.
 """
 
 from __future__ import annotations
@@ -14,6 +20,10 @@ from pathlib import Path
 from typing import Any, TextIO
 
 from repro.core.dynamics import SimulationResult
+from repro.runtime.atomic import atomic_write_json, parse_checked_json
+
+#: schema marker embedded in every saved result
+RESULT_FORMAT = "repro.simulation-result/1"
 
 
 def result_to_dict(
@@ -37,7 +47,7 @@ def result_to_dict(
             histories = {}
             break
     return {
-        "format": "repro.simulation-result/1",
+        "format": RESULT_FORMAT,
         "config": {
             "theta": result.config.theta,
             "utility_model": result.config.utility_model.value,
@@ -69,23 +79,33 @@ def save_result(
     target: str | Path | TextIO,
     track_asns: list[int] | None = None,
 ) -> None:
-    """Write :func:`result_to_dict` as JSON."""
+    """Write :func:`result_to_dict` as JSON.
+
+    Path targets are written atomically with an embedded checksum —
+    the target file is never truncated before the payload is complete.
+    Stream targets are the caller's responsibility and are written
+    without a checksum.
+    """
     payload = result_to_dict(result, track_asns)
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1)
+        atomic_write_json(target, payload, checksum=True)
     else:
         json.dump(payload, target, indent=1)
 
 
 def load_result_summary(source: str | Path | TextIO) -> dict[str, Any]:
-    """Load a previously saved result summary (with format check)."""
+    """Load a previously saved result summary, validated.
+
+    Raises :class:`~repro.runtime.errors.CorruptFileError` on truncated
+    or checksum-failing input and
+    :class:`~repro.runtime.errors.SchemaError` (a ``ValueError``) on an
+    unrecognised format.  The checksum field, when present, is verified
+    and stripped, so the returned payload equals :func:`result_to_dict`.
+    """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
+        text = Path(source).read_text(encoding="utf-8")
+        where: str | Path = source
     else:
-        payload = json.load(source)
-    fmt = payload.get("format")
-    if fmt != "repro.simulation-result/1":
-        raise ValueError(f"unrecognised result format: {fmt!r}")
-    return payload
+        text = source.read()
+        where = "<stream>"
+    return parse_checked_json(text, source=where, expected_format=RESULT_FORMAT)

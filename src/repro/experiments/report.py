@@ -2,12 +2,17 @@
 
 The benchmark harness regenerates the paper's tables and figure series
 as aligned text so that runs are comparable to the paper at a glance
-(EXPERIMENTS.md records paper-vs-measured for each).
+(EXPERIMENTS.md records paper-vs-measured for each).  File output goes
+through :func:`write_report`, which writes atomically — there is no
+direct-truncate write path left in the reporting layer.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
+
+from repro.runtime.atomic import atomic_write_text
 
 
 def format_table(
@@ -50,3 +55,14 @@ def format_percent(value: float, digits: int = 1) -> str:
 def format_series(label: str, values: Sequence[float], fmt: str = "{:.3g}") -> str:
     """One-line labelled series, e.g. for per-round counts."""
     return f"{label}: " + " ".join(fmt.format(v) for v in values)
+
+
+def write_report(path: str | Path, text: str) -> None:
+    """Write rendered report text to ``path`` atomically.
+
+    A trailing newline is ensured; an interrupt mid-write leaves any
+    previous report intact rather than a truncated one.
+    """
+    if not text.endswith("\n"):
+        text += "\n"
+    atomic_write_text(path, text)

@@ -4,11 +4,20 @@ One sweep = run the deployment game to termination for every
 (early-adopter set, theta) pair and record adoption and security
 outcomes.  The cache is shared across all runs on the same graph, so
 each extra cell costs only the game rounds.
+
+Sweeps are the repo's longest computations (the paper reran this grid
+for every parameterisation, hours per run), so they checkpoint: pass a
+:class:`~repro.runtime.journal.RunJournal` (or a path) as ``journal``
+and every finished cell is durably appended; a rerun with the same
+journal — ``sbgp-sim sweep --journal runs/fig8.jsonl --resume`` —
+replays completed cells instead of recomputing them, yielding the same
+cell list an uninterrupted run would have produced.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.config import SimulationConfig, UtilityModel
@@ -21,9 +30,13 @@ from repro.core.metrics import (
 )
 from repro.core.state import StateDeriver
 from repro.experiments.setup import ExperimentEnv
+from repro.runtime.journal import RunJournal, coerce_journal
 
 #: the theta grid of Fig. 8
 DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50)
+
+#: journal ``kind`` for sweep checkpoints
+SWEEP_JOURNAL_KIND = "sweep"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +56,94 @@ class SweepCell:
     projection_ratios: tuple[float, ...] = ()  # Fig. 14 (theta = 0 runs)
 
 
+def cell_to_dict(cell: SweepCell) -> dict:
+    """JSON-serialisable form of a cell (for the sweep journal)."""
+    payload = dataclasses.asdict(cell)
+    payload["projection_ratios"] = list(cell.projection_ratios)
+    return payload
+
+
+def cell_from_dict(payload: dict) -> SweepCell:
+    """Inverse of :func:`cell_to_dict`."""
+    fields = {f.name for f in dataclasses.fields(SweepCell)}
+    kwargs = {k: v for k, v in payload.items() if k in fields}
+    kwargs["projection_ratios"] = tuple(kwargs.get("projection_ratios", ()))
+    return SweepCell(**kwargs)
+
+
+def _sweep_meta(
+    env: ExperimentEnv,
+    thetas: Sequence[float],
+    adopter_sets: dict[str, list[int]],
+    stub_breaks_ties: bool,
+    utility_model: UtilityModel,
+    collect_projection_accuracy: bool,
+    max_rounds: int,
+) -> dict:
+    """Header metadata identifying one sweep grid.
+
+    Resuming a journal whose metadata differs raises
+    :class:`~repro.runtime.errors.JournalMismatchError` — mixing cells
+    from different grids would silently corrupt figures.
+    """
+    return {
+        "num_ases": env.graph.n,
+        "thetas": [float(t) for t in thetas],
+        "adopter_sets": {
+            name: sorted(asns) for name, asns in sorted(adopter_sets.items())
+        },
+        "stub_breaks_ties": stub_breaks_ties,
+        "utility_model": utility_model.value,
+        "collect_projection_accuracy": collect_projection_accuracy,
+        "max_rounds": max_rounds,
+    }
+
+
+def _run_cell(
+    env: ExperimentEnv,
+    name: str,
+    adopters: list[int],
+    theta: float,
+    stub_breaks_ties: bool,
+    utility_model: UtilityModel,
+    collect_projection_accuracy: bool,
+    max_rounds: int,
+) -> SweepCell:
+    """Simulate one (adopter set, theta) pair to termination."""
+    config = SimulationConfig(
+        theta=theta,
+        utility_model=utility_model,
+        stub_breaks_ties=stub_breaks_ties,
+        max_rounds=max_rounds,
+    )
+    sim = DeploymentSimulation(env.graph, adopters, config, env.cache)
+    result = sim.run()
+    outcome = deployment_outcome(result)
+    final_rd = compute_round_data(
+        env.cache,
+        StateDeriver(env.graph, stub_breaks_ties, env.cache.compiled),
+        result.final_state,
+        utility_model,
+    )
+    snapshot = security_snapshot(env.graph, final_rd)
+    ratios: tuple[float, ...] = ()
+    if collect_projection_accuracy:
+        ratios = tuple(projection_accuracy(result))
+    return SweepCell(
+        adopters=name,
+        theta=theta,
+        stub_breaks_ties=stub_breaks_ties,
+        fraction_secure_ases=outcome.fraction_secure_ases,
+        fraction_secure_isps=outcome.fraction_secure_isps,
+        fraction_isps_by_market=outcome.fraction_isps_by_market,
+        fraction_secure_paths=snapshot.fraction_secure_paths,
+        f_squared=snapshot.f_squared,
+        num_rounds=outcome.num_rounds,
+        outcome=outcome.outcome,
+        projection_ratios=ratios,
+    )
+
+
 def run_sweep(
     env: ExperimentEnv,
     thetas: Sequence[float] = DEFAULT_THETAS,
@@ -51,46 +152,45 @@ def run_sweep(
     utility_model: UtilityModel = UtilityModel.OUTGOING,
     collect_projection_accuracy: bool = False,
     max_rounds: int = 100,
+    journal: RunJournal | str | Path | None = None,
 ) -> list[SweepCell]:
-    """Run the full (adopter set x theta) grid and return its cells."""
+    """Run the full (adopter set x theta) grid and return its cells.
+
+    With a ``journal``, each completed cell is durably appended as it
+    finishes, and cells already present (from an interrupted earlier
+    run) are replayed instead of recomputed — the returned list is
+    identical to an uninterrupted run's.
+    """
     adopter_sets = adopter_sets or env.adopter_sets()
+    journal = coerce_journal(journal)
+    done: dict[tuple[str, float], SweepCell] = {}
+    if journal is not None:
+        journal.ensure_header(
+            SWEEP_JOURNAL_KIND,
+            _sweep_meta(
+                env, thetas, adopter_sets, stub_breaks_ties,
+                utility_model, collect_projection_accuracy, max_rounds,
+            ),
+        )
+        for record in journal.iter_records():
+            if record.get("type") == "cell":
+                cell = cell_from_dict(record["cell"])
+                done[(cell.adopters, cell.theta)] = cell
+
     cells: list[SweepCell] = []
     for name, adopters in adopter_sets.items():
         for theta in thetas:
-            config = SimulationConfig(
-                theta=theta,
-                utility_model=utility_model,
-                stub_breaks_ties=stub_breaks_ties,
-                max_rounds=max_rounds,
+            cached = done.get((name, float(theta)))
+            if cached is not None:
+                cells.append(cached)
+                continue
+            cell = _run_cell(
+                env, name, adopters, theta, stub_breaks_ties,
+                utility_model, collect_projection_accuracy, max_rounds,
             )
-            sim = DeploymentSimulation(env.graph, adopters, config, env.cache)
-            result = sim.run()
-            outcome = deployment_outcome(result)
-            final_rd = compute_round_data(
-                env.cache,
-                StateDeriver(env.graph, stub_breaks_ties, env.cache.compiled),
-                result.final_state,
-                utility_model,
-            )
-            snapshot = security_snapshot(env.graph, final_rd)
-            ratios: tuple[float, ...] = ()
-            if collect_projection_accuracy:
-                ratios = tuple(projection_accuracy(result))
-            cells.append(
-                SweepCell(
-                    adopters=name,
-                    theta=theta,
-                    stub_breaks_ties=stub_breaks_ties,
-                    fraction_secure_ases=outcome.fraction_secure_ases,
-                    fraction_secure_isps=outcome.fraction_secure_isps,
-                    fraction_isps_by_market=outcome.fraction_isps_by_market,
-                    fraction_secure_paths=snapshot.fraction_secure_paths,
-                    f_squared=snapshot.f_squared,
-                    num_rounds=outcome.num_rounds,
-                    outcome=outcome.outcome,
-                    projection_ratios=ratios,
-                )
-            )
+            if journal is not None:
+                journal.append({"type": "cell", "cell": cell_to_dict(cell)})
+            cells.append(cell)
     return cells
 
 

@@ -1,39 +1,79 @@
-"""A small map-reduce engine (the paper's DryadLINQ substitute).
+"""A small crash-tolerant map-reduce engine (the DryadLINQ substitute).
 
 The paper ran its ``O(N^3)`` simulations by *mapping* per-destination
 computations over a 200-machine DryadLINQ cluster and *reducing* the
-per-destination subtrees into utilities (Appendix C.3).  This module
-provides the same decomposition at laptop scale:
+per-destination subtrees into utilities (Appendix C.3); the cluster
+framework restarted failed workers and re-executed failed partitions.
+This module provides the same decomposition — and the same fault
+story — at laptop scale:
 
 - :class:`SerialEngine` runs partitions in-process (default, and often
   fastest below a few thousand ASes);
-- :class:`ProcessEngine` fans partitions out to forked worker
-  processes; the mapped function must be picklable (a module-level
-  function or a small callable class) and is shipped once per
-  partition, and only the mapped results travel back.
+- :class:`ProcessEngine` fans partitions out to worker processes
+  (forked where the platform allows, spawned otherwise) with
+  per-partition timeouts, retry with exponential backoff on worker
+  death, requeue of failed partitions at finer granularity, and a
+  serial in-parent fallback for work that keeps failing — so one
+  poisoned item or crashed worker is isolated and reported instead of
+  killing the whole map.
 
 Both implement :class:`MapReduceEngine` and are interchangeable; tests
-assert result equality.
+assert result equality, including under injected faults
+(:mod:`repro.runtime.faults`).
 """
 
 from __future__ import annotations
 
 import abc
+import collections
+import dataclasses
+import logging
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
+import warnings
 from typing import Callable, Sequence, TypeVar
 
 from repro.parallel.partition import partition
+from repro.runtime.errors import ItemFailedError
+from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+log = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
 A = TypeVar("A")
 
-# fork keeps read-only graph structures shared copy-on-write; it is the
-# right trade-off for this workload and available on the platforms the
-# simulator targets (the paper's cluster was likewise shared-memory per
-# node).  spawn would re-import and re-build every structure per worker.
-_MP_CONTEXT = "fork"
+#: start methods in preference order: fork keeps read-only graph
+#: structures shared copy-on-write (the right trade-off for this
+#: workload — spawn re-imports and re-pickles every structure per
+#: worker), but not every platform has it.
+_START_METHOD_PREFERENCE = ("fork", "forkserver", "spawn")
+
+
+def choose_start_method() -> str | None:
+    """Best available multiprocessing start method (None: serial only)."""
+    available = multiprocessing.get_all_start_methods()
+    if _START_METHOD_PREFERENCE[0] in available:
+        return "fork"
+    for method in _START_METHOD_PREFERENCE[1:]:
+        if method in available:
+            warnings.warn(
+                f"fork start method unavailable on this platform; "
+                f"falling back to {method!r} (workers re-import state, "
+                f"mapped functions must be picklable)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return method
+    warnings.warn(
+        "no multiprocessing start method available; "
+        "ProcessEngine will run maps serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None
 
 
 class MapReduceEngine(abc.ABC):
@@ -64,13 +104,110 @@ class SerialEngine(MapReduceEngine):
         return [fn(item) for item in items]
 
 
-def _run_partition(args: tuple[Callable, list]) -> list:
-    fn, part = args
-    return [fn(item) for item in part]
+@dataclasses.dataclass
+class MapStats:
+    """Fault accounting for the most recent :meth:`ProcessEngine.map`."""
+
+    dispatched: int = 0        # partition tasks handed to workers
+    worker_errors: int = 0     # fn raised inside a worker
+    worker_deaths: int = 0     # worker exited abnormally (crash/kill)
+    timeouts: int = 0          # partitions reaped at the deadline
+    retries: int = 0           # failed partitions requeued
+    splits: int = 0            # requeues that split the partition
+    serial_fallback_items: int = 0  # items degraded to in-parent runs
+    failed_items: int = 0      # items that failed even serially
+
+
+@dataclasses.dataclass
+class ItemFailure:
+    """Placed in the result list for a failed item (``on_error="collect"``)."""
+
+    index: int
+    item: object
+    error: str
+
+    def __bool__(self) -> bool:  # failed slots are falsy for easy filtering
+        return False
+
+
+@dataclasses.dataclass
+class _Task:
+    """A partition of (original index, item) pairs awaiting dispatch."""
+
+    pairs: list[tuple[int, object]]
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+def _child_main(conn, fn, pairs) -> None:
+    """Worker body: map ``fn`` over the partition, ship one message back."""
+    try:
+        out = [(idx, fn(item)) for idx, item in pairs]
+        conn.send(("ok", out))
+    except BaseException as exc:  # report, never hang the parent
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _Worker:
+    """One live partition: a child process plus its result pipe."""
+
+    def __init__(self, ctx, fn, task: _Task, timeout: float | None):
+        self.task = task
+        self.conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_child_main, args=(child_conn, fn, task.pairs), daemon=True
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps only the read end
+        self.deadline = None if timeout is None else time.monotonic() + timeout
+
+    def reap(self) -> tuple[str, object]:
+        """Read the worker's message: ("ok", pairs) | ("err", msg) | ("dead", msg)."""
+        try:
+            kind, payload = self.conn.recv()
+        except (EOFError, OSError):
+            self.terminate()
+            return ("dead", f"worker exited abnormally (exitcode {self.process.exitcode})")
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # sent a result but won't exit
+            self.terminate()
+        self.conn.close()
+        return (kind, payload)
+
+    def terminate(self) -> None:
+        """Force the worker down (terminate, then kill) and close the pipe."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
 
 
 class ProcessEngine(MapReduceEngine):
-    """Fork-based process-pool engine.
+    """Crash-tolerant process-pool engine.
+
+    Partitions are dispatched asynchronously to one child process each
+    (at most ``workers`` live at a time).  A partition whose worker
+    raises, dies, or overruns ``partition_timeout`` is requeued with
+    exponential backoff, split in half to isolate the failing item;
+    once a task exhausts ``retry.max_attempts`` its items run serially
+    in the parent.  An item that fails even there raises
+    :class:`~repro.runtime.errors.ItemFailedError` (``on_error="raise"``,
+    default) or yields an :class:`ItemFailure` in its result slot
+    (``on_error="collect"``).
 
     Parameters
     ----------
@@ -78,41 +215,170 @@ class ProcessEngine(MapReduceEngine):
         Number of worker processes (default: CPU count).
     partitions_per_worker:
         Oversubscription factor for load balancing.
+    retry:
+        :class:`~repro.runtime.retry.RetryPolicy` for failed partitions.
+    partition_timeout:
+        Seconds before a partition's worker is presumed hung and killed
+        (None: wait forever).
+    on_error:
+        ``"raise"`` or ``"collect"`` for items that fail serially.
+    start_method:
+        Override the multiprocessing start method (default: best
+        available; serial fallback with a warning when there is none).
     """
 
-    def __init__(self, workers: int | None = None, partitions_per_worker: int = 4):
+    def __init__(
+        self,
+        workers: int | None = None,
+        partitions_per_worker: int = 4,
+        retry: RetryPolicy | None = None,
+        partition_timeout: float | None = None,
+        on_error: str = "raise",
+        start_method: str | None = None,
+    ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
+        if start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                raise ValueError(
+                    f"start method {start_method!r} unavailable (have {available})"
+                )
         self.workers = workers or os.cpu_count() or 1
         self.partitions_per_worker = max(1, partitions_per_worker)
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.partition_timeout = partition_timeout
+        self.on_error = on_error
+        self.start_method = start_method if start_method is not None else choose_start_method()
+        self.last_stats = MapStats()
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        if self.workers == 1 or len(items) <= 1:
+        self.last_stats = stats = MapStats()
+        if self.workers == 1 or len(items) <= 1 or self.start_method is None:
             return SerialEngine().map(fn, items)
+        ctx = multiprocessing.get_context(self.start_method)
         indexed = list(enumerate(items))
         parts = partition(indexed, self.workers * self.partitions_per_worker)
-        ctx = multiprocessing.get_context(_MP_CONTEXT)
-        with ctx.Pool(processes=self.workers) as pool:
-            mapped = pool.map(
-                _run_partition,
-                [(_indexed_fn(fn), part) for part in parts],
+        queue: collections.deque[_Task] = collections.deque(
+            _Task(list(p)) for p in parts
+        )
+        results: list = [None] * len(items)
+        live: list[_Worker] = []
+        try:
+            while queue or live:
+                self._dispatch(ctx, fn, queue, live, results, stats)
+                self._reap(queue, live, results, stats)
+        finally:
+            for worker in live:
+                worker.terminate()
+        return results
+
+    # -- dispatch -----------------------------------------------------
+
+    def _dispatch(self, ctx, fn, queue, live, results, stats) -> None:
+        """Start workers for every ready task while slots are free."""
+        now = time.monotonic()
+        held: list[_Task] = []
+        while queue and len(live) < self.workers:
+            task = queue.popleft()
+            if task.not_before > now:
+                held.append(task)
+                continue
+            if task.attempts >= self.retry.max_attempts:
+                self._run_serially(fn, task, results, stats)
+                continue
+            live.append(_Worker(ctx, fn, task, self.partition_timeout))
+            stats.dispatched += 1
+        queue.extendleft(reversed(held))
+
+    def _run_serially(self, fn, task: _Task, results, stats) -> None:
+        """Graceful degradation: run a repeatedly-failing task in-parent."""
+        log.warning(
+            "partition of %d item(s) failed %d time(s); running serially in parent",
+            len(task.pairs), task.attempts,
+        )
+        stats.serial_fallback_items += len(task.pairs)
+        for idx, item in task.pairs:
+            try:
+                results[idx] = fn(item)
+            except Exception as exc:
+                stats.failed_items += 1
+                if self.on_error == "raise":
+                    raise ItemFailedError(idx, item, exc) from exc
+                log.error("item %d (%r) failed after retries: %s", idx, item, exc)
+                results[idx] = ItemFailure(idx, item, f"{type(exc).__name__}: {exc}")
+
+    # -- reaping ------------------------------------------------------
+
+    def _reap(self, queue, live, results, stats) -> None:
+        """Wait for worker messages, deadlines, or backoff expiries."""
+        if not live:
+            if queue:  # everything queued is backing off; wait it out
+                pause = min(t.not_before for t in queue) - time.monotonic()
+                if pause > 0:
+                    self.retry.sleep(pause)
+            return
+        now = time.monotonic()
+        next_wake = min(
+            (w.deadline for w in live if w.deadline is not None), default=None
+        )
+        backoffs = [t.not_before for t in queue if t.not_before > now]
+        if backoffs:
+            soonest = min(backoffs)
+            next_wake = soonest if next_wake is None else min(next_wake, soonest)
+        wait_timeout = None if next_wake is None else max(0.0, next_wake - now)
+        ready = set(
+            multiprocessing.connection.wait([w.conn for w in live], timeout=wait_timeout)
+        )
+        now = time.monotonic()
+        survivors: list[_Worker] = []
+        for worker in live:
+            if worker.conn in ready:
+                kind, payload = worker.reap()
+                if kind == "ok":
+                    for idx, value in payload:
+                        results[idx] = value
+                else:
+                    if kind == "err":
+                        stats.worker_errors += 1
+                    else:
+                        stats.worker_deaths += 1
+                    self._requeue(worker.task, queue, stats, str(payload))
+            elif worker.deadline is not None and now >= worker.deadline:
+                worker.terminate()
+                stats.timeouts += 1
+                self._requeue(
+                    worker.task, queue, stats,
+                    f"partition exceeded {self.partition_timeout}s timeout",
+                )
+            else:
+                survivors.append(worker)
+        live[:] = survivors
+
+    def _requeue(self, task: _Task, queue, stats, reason: str) -> None:
+        """Back off and requeue a failed partition, splitting to isolate."""
+        attempts = task.attempts + 1
+        not_before = time.monotonic() + self.retry.delay(attempts)
+        stats.retries += 1
+        if len(task.pairs) > 1:
+            stats.splits += 1
+            mid = len(task.pairs) // 2
+            halves = (task.pairs[:mid], task.pairs[mid:])
+            log.warning(
+                "partition of %d item(s) failed (%s); splitting and retrying "
+                "(attempt %d/%d)",
+                len(task.pairs), reason, attempts, self.retry.max_attempts,
             )
-        results: list[R | None] = [None] * len(items)
-        for part_result in mapped:
-            for idx, value in part_result:
-                results[idx] = value
-        return results  # type: ignore[return-value]
-
-
-class _indexed_fn:
-    """Picklable wrapper applying ``fn`` to (index, item) pairs."""
-
-    def __init__(self, fn: Callable):
-        self.fn = fn
-
-    def __call__(self, pair: tuple[int, object]) -> tuple[int, object]:
-        idx, item = pair
-        return idx, self.fn(item)
+            for half in halves:
+                queue.append(_Task(half, attempts, not_before))
+        else:
+            log.warning(
+                "item partition failed (%s); retrying (attempt %d/%d)",
+                reason, attempts, self.retry.max_attempts,
+            )
+            queue.append(_Task(task.pairs, attempts, not_before))
 
 
 def default_engine(workers: int = 1) -> MapReduceEngine:
@@ -125,31 +391,40 @@ def default_engine(workers: int = 1) -> MapReduceEngine:
 class _DestRoutingBuilder:
     """Picklable map function: destination index -> DestRouting.
 
-    Carries the graph and its compiled form; with the fork context the
-    pickle cost is paid once per partition, and page sharing keeps the
-    memory overhead low.
+    Carries the graph, its compiled form, and the cache's policy and
+    transform; with the fork context the pickle cost is paid once per
+    partition, and page sharing keeps the memory overhead low.
     """
 
-    def __init__(self, graph, compiled):
+    def __init__(self, graph, compiled, policy: str = "gao-rexford", transform=None):
         self.graph = graph
         self.compiled = compiled
+        self.policy = policy
+        self.transform = transform
 
     def __call__(self, dest: int):
-        from repro.routing.tree import compute_dest_routing
+        from repro.routing.cache import POLICIES, _register_policies
 
-        return compute_dest_routing(self.graph, dest, self.compiled)
+        _register_policies()
+        dr = POLICIES[self.policy](self.graph, dest, self.compiled)
+        if self.transform is not None:
+            dr = self.transform(dr)
+        return dr
 
 
 def parallel_warm_cache(cache, workers: int = 1) -> None:
     """Warm a :class:`~repro.routing.cache.RoutingCache` with workers.
 
     The per-destination :class:`DestRouting` structures are independent,
-    so this is a pure map; results are installed into the cache.
+    so this is a pure map; results are installed into the cache through
+    its public :meth:`~repro.routing.cache.RoutingCache.install` API.
     """
-    todo = [d for d in cache.destinations if d not in cache._routing]
+    todo = cache.pending_destinations()
     if not todo:
         return
     engine = default_engine(workers)
-    build = _DestRoutingBuilder(cache.graph, cache.compiled)
+    build = _DestRoutingBuilder(
+        cache.graph, cache.compiled, cache.policy, cache.transform
+    )
     for dest, dr in zip(todo, engine.map(build, todo)):
-        cache._routing[dest] = dr
+        cache.install(dest, dr)

@@ -91,6 +91,26 @@ class RoutingCache:
         for dest in self.destinations:
             self.dest_routing(dest)
 
+    def install(self, dest: int, routing: DestRouting) -> None:
+        """Install a :class:`DestRouting` computed elsewhere.
+
+        Public entry point for parallel warmers (the per-destination
+        structures are computed in worker processes and shipped back).
+        The caller is responsible for having applied this cache's
+        policy and transform; ``dest`` must be one of ``destinations``.
+        """
+        if dest not in self._dest_pos:
+            raise KeyError(f"destination {dest} not in cache")
+        self._routing[dest] = routing
+
+    def is_cached(self, dest: int) -> bool:
+        """True if ``dest`` has already been computed or installed."""
+        return dest in self._routing
+
+    def pending_destinations(self) -> list[int]:
+        """Destinations not yet computed, in ``destinations`` order."""
+        return [d for d in self.destinations if d not in self._routing]
+
     @property
     def cls_matrix(self) -> np.ndarray:
         """int8 matrix ``[len(destinations), n]`` of route classes.

@@ -1,0 +1,52 @@
+"""Resilience layer: atomic persistence, run journals, retry policy.
+
+The paper's 200-node DryadLINQ cluster restarted failed workers and
+re-ran failed partitions for free; this package is the laptop-scale
+equivalent.  Long computations journal their completed units
+(:class:`RunJournal`), every file write is atomic and checksummed
+(:mod:`repro.runtime.atomic`), worker failure is retried under a
+:class:`RetryPolicy`, and :mod:`repro.runtime.faults` makes all of it
+deterministically testable.
+"""
+
+from repro.runtime.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    checksum_payload,
+    load_checked_json,
+    parse_checked_json,
+)
+from repro.runtime.errors import (
+    CorruptFileError,
+    ItemFailedError,
+    JournalCorruptError,
+    JournalError,
+    JournalMismatchError,
+    PersistenceError,
+    SchemaError,
+)
+from repro.runtime.faults import FaultInjected, FaultInjector
+from repro.runtime.journal import JOURNAL_FORMAT, RunJournal, coerce_journal
+from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "JOURNAL_FORMAT",
+    "CorruptFileError",
+    "FaultInjected",
+    "FaultInjector",
+    "ItemFailedError",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalMismatchError",
+    "PersistenceError",
+    "RetryPolicy",
+    "RunJournal",
+    "SchemaError",
+    "atomic_write_json",
+    "atomic_write_text",
+    "checksum_payload",
+    "coerce_journal",
+    "load_checked_json",
+    "parse_checked_json",
+]

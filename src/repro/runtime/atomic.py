@@ -1,0 +1,131 @@
+"""Atomic, validated file persistence.
+
+The paper's cluster runs lasted hours; ours can too, and a result file
+that is half-written when the process dies is worse than no file — it
+shadows the good data from the previous run.  Every writer in the repo
+therefore goes through :func:`atomic_write_text`: write to a temp file
+in the same directory, flush + fsync, then ``os.replace`` over the
+target (atomic on POSIX and Windows).  JSON payloads additionally carry
+a ``checksum`` field so loaders can tell torn writes and bit rot apart
+from schema drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.errors import CorruptFileError, SchemaError
+
+CHECKSUM_KEY = "checksum"
+
+
+def checksum_payload(payload: dict[str, Any]) -> str:
+    """Canonical SHA-256 of a JSON payload (excluding its checksum field)."""
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows directory opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all filesystems support it
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp + fsync + replace).
+
+    Readers never observe a partial file: they see either the old
+    content or the new content in full, even across a crash mid-write.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent or Path("."))
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload: dict[str, Any],
+    *,
+    checksum: bool = True,
+    indent: int | None = 1,
+) -> None:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    With ``checksum=True`` (default) a ``checksum`` field is embedded;
+    :func:`load_checked_json` verifies and strips it on the way back in.
+    """
+    if checksum:
+        payload = {**payload, CHECKSUM_KEY: checksum_payload(payload)}
+    atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+def parse_checked_json(
+    text: str, *, source: str | Path = "<stream>", expected_format: str | None = None
+) -> dict[str, Any]:
+    """Parse + validate a JSON payload string (see :func:`load_checked_json`)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptFileError(source, f"truncated or corrupt JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{source}: expected a JSON object, got {type(payload).__name__}")
+    stored = payload.pop(CHECKSUM_KEY, None)
+    if stored is not None:
+        expected = checksum_payload(payload)
+        if stored != expected:
+            raise CorruptFileError(
+                source, f"checksum mismatch (stored {stored}, computed {expected})"
+            )
+    if expected_format is not None:
+        fmt = payload.get("format")
+        if fmt != expected_format:
+            raise SchemaError(f"{source}: unrecognised format: {fmt!r}")
+    return payload
+
+
+def load_checked_json(
+    path: str | Path, *, expected_format: str | None = None
+) -> dict[str, Any]:
+    """Load a JSON file written by :func:`atomic_write_json`.
+
+    Raises :class:`~repro.runtime.errors.CorruptFileError` on truncated
+    or checksum-failing bytes and
+    :class:`~repro.runtime.errors.SchemaError` on a wrong/missing
+    ``format`` marker — never a raw ``json.JSONDecodeError``.  Files
+    without a checksum field (pre-resilience writers, hand-edited
+    inputs) load fine; the checksum is only verified when present.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptFileError(path, f"undecodable bytes ({exc})") from exc
+    return parse_checked_json(text, source=path, expected_format=expected_format)

@@ -1,0 +1,75 @@
+"""Typed errors for the resilience layer.
+
+Every recoverable failure in persistence, journaling, and the parallel
+engine surfaces as one of these instead of a raw ``json.JSONDecodeError``
+or a dead process pool, so callers can distinguish "the file is damaged"
+from "the file is from a different run" from "this one input is bad".
+"""
+
+from __future__ import annotations
+
+
+class PersistenceError(Exception):
+    """Base class for result/journal persistence failures."""
+
+
+class CorruptFileError(PersistenceError):
+    """A file exists but its bytes are damaged.
+
+    Raised for truncated JSON, undecodable text, and checksum
+    mismatches.  The original cause (if any) is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+class SchemaError(PersistenceError, ValueError):
+    """A file parsed cleanly but does not match the expected format.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old untyped format check keep working.
+    """
+
+
+class JournalError(PersistenceError):
+    """Base class for run-journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal line (other than a torn final line) failed validation."""
+
+    def __init__(self, path, lineno: int, reason: str):
+        self.path = str(path)
+        self.lineno = lineno
+        self.reason = reason
+        super().__init__(f"{self.path}:{lineno}: {reason}")
+
+
+class JournalMismatchError(JournalError):
+    """An existing journal belongs to a different run configuration.
+
+    Resuming into a journal whose header metadata differs from the
+    current run would silently mix incompatible cells; this error names
+    the first differing key instead.
+    """
+
+
+class ItemFailedError(Exception):
+    """One mapped item kept failing even in the serial fallback.
+
+    The parallel engine retries a failing partition at finer and finer
+    granularity; once a single item has exhausted its retries it is run
+    in-process, and if it *still* raises, that exception is chained here
+    with the item identified — one poisoned input is reported, not
+    silently dropped or blamed on the pool.
+    """
+
+    def __init__(self, index: int, item: object, cause: BaseException | str):
+        self.index = index
+        self.item = item
+        detail = cause if isinstance(cause, str) else f"{type(cause).__name__}: {cause}"
+        super().__init__(f"item {index} ({item!r}) failed after retries: {detail}")

@@ -1,0 +1,110 @@
+"""Deterministic fault injection for exercising the resilience layer.
+
+:class:`FaultInjector` is a picklable map function that misbehaves on
+chosen items — raising, hanging, or SIGKILLing its own process — a
+configurable number of times before succeeding.  Encounters are
+counted in a shared directory (one ``O_EXCL``-created marker file per
+encounter), so the count survives worker death and process restarts:
+"fail the first two times item 7 is attempted, anywhere" is expressible
+and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Callable, Collection
+
+
+class FaultInjected(RuntimeError):
+    """The exception :class:`FaultInjector` raises in ``raise`` mode."""
+
+
+def _identity(item):
+    return item
+
+
+class FaultInjector:
+    """Map function wrapper that injects faults on chosen items.
+
+    Parameters
+    ----------
+    bad_items:
+        Items (compared by ``repr``) that trigger the fault.
+    mode:
+        ``"raise"`` (raise :class:`FaultInjected`), ``"kill"``
+        (``SIGKILL`` the current process — simulates a crashed worker),
+        or ``"hang"`` (sleep ``hang_seconds`` — simulates a wedged
+        worker, to be reaped by a partition timeout).
+    fail_times:
+        Fault only the first N encounters of each bad item (requires
+        ``state_dir``); ``None`` means fault every time.
+    state_dir:
+        Directory for cross-process encounter counters.
+    only_in_worker:
+        Fault only when running in a process other than the one that
+        constructed the injector — lets a test prove the engine's
+        serial in-parent fallback succeeds where every worker failed.
+    fn:
+        The real work (default: identity).  Must itself be picklable.
+    """
+
+    def __init__(
+        self,
+        bad_items: Collection[object],
+        mode: str = "raise",
+        fail_times: int | None = None,
+        state_dir: str | Path | None = None,
+        hang_seconds: float = 30.0,
+        only_in_worker: bool = False,
+        fn: Callable = _identity,
+    ):
+        if mode not in ("raise", "kill", "hang"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if fail_times is not None and state_dir is None:
+            raise ValueError("fail_times requires a state_dir for counters")
+        self.bad_reprs = frozenset(repr(i) for i in bad_items)
+        self.mode = mode
+        self.fail_times = fail_times
+        self.state_dir = None if state_dir is None else str(state_dir)
+        self.hang_seconds = hang_seconds
+        self.only_in_worker = only_in_worker
+        self.home_pid = os.getpid()
+        self.fn = fn
+
+    def __call__(self, item):
+        if self._should_fault(item):
+            if self.mode == "raise":
+                raise FaultInjected(f"injected fault on {item!r}")
+            if self.mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(self.hang_seconds)
+        return self.fn(item)
+
+    def _should_fault(self, item) -> bool:
+        if repr(item) not in self.bad_reprs:
+            return False
+        if self.only_in_worker and os.getpid() == self.home_pid:
+            return False
+        if self.fail_times is None:
+            return True
+        return self._claim_encounter(item) < self.fail_times
+
+    def _claim_encounter(self, item) -> int:
+        """Atomically claim the next encounter slot for ``item``.
+
+        Marker files make the counter shared across processes and
+        robust to any of them dying mid-count.
+        """
+        safe = repr(item).replace(os.sep, "_")
+        for n in itertools.count():
+            marker = os.path.join(self.state_dir, f"{safe}.{n}")
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return n

@@ -1,0 +1,208 @@
+"""Append-only run journals for checkpoint/resume.
+
+A :class:`RunJournal` is a JSONL file: one header line identifying the
+run, then one record per completed unit of work (a sweep cell, a
+simulation round).  Appends are flushed and fsynced before returning,
+so after a crash — including SIGKILL — the journal holds every unit
+that finished, and a restarted run replays it instead of recomputing.
+
+Format (``repro.run-journal/1``)::
+
+    {"format": "repro.run-journal/1", "kind": "sweep", "meta": {...}}
+    {"record": {...}, "sha256": "..."}
+    {"record": {...}, "sha256": "..."}
+
+Each record line carries a SHA-256 of its canonical record JSON.  A
+torn *final* line (the crash happened mid-append) is dropped silently
+on replay; damage anywhere else raises
+:class:`~repro.runtime.errors.JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.runtime.errors import (
+    JournalCorruptError,
+    JournalMismatchError,
+)
+
+log = logging.getLogger(__name__)
+
+JOURNAL_FORMAT = "repro.run-journal/1"
+
+
+def _record_checksum(record: dict[str, Any]) -> str:
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """An append-only JSONL journal of completed work units.
+
+    Parameters
+    ----------
+    path:
+        Journal file location.  The file is created lazily on the first
+        :meth:`ensure_header` / :meth:`append`.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    # -- writing ------------------------------------------------------
+
+    def ensure_header(self, kind: str, meta: dict[str, Any] | None = None) -> None:
+        """Create the header, or validate an existing one.
+
+        A fresh (or empty) journal gets a header line with ``kind`` and
+        ``meta``.  An existing journal must match both exactly —
+        resuming a sweep into a journal from a different grid raises
+        :class:`~repro.runtime.errors.JournalMismatchError` instead of
+        silently mixing cells.
+        """
+        meta = meta or {}
+        self.repair()
+        header = self.header()
+        if header is None:
+            line = json.dumps(
+                {"format": JOURNAL_FORMAT, "kind": kind, "meta": meta},
+                sort_keys=True,
+            )
+            self._append_line(line)
+            return
+        if header.get("kind") != kind:
+            raise JournalMismatchError(
+                f"{self.path}: journal kind {header.get('kind')!r} != expected {kind!r}"
+            )
+        existing_meta = header.get("meta") or {}
+        if existing_meta != meta:
+            keys = sorted(
+                k
+                for k in set(existing_meta) | set(meta)
+                if existing_meta.get(k) != meta.get(k)
+            )
+            raise JournalMismatchError(
+                f"{self.path}: journal metadata differs from this run "
+                f"(mismatched keys: {keys}); use a fresh journal path"
+            )
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one record (flushed + fsynced before return)."""
+        line = json.dumps(
+            {"record": record, "sha256": _record_checksum(record)},
+            sort_keys=True,
+        )
+        self._append_line(line)
+
+    def repair(self) -> int:
+        """Drop a torn final line so later appends stay parseable.
+
+        A crash mid-append leaves a partial last line; appending after
+        it would weld two records together.  Returns the number of
+        lines dropped (0 or 1); corruption anywhere but the tail still
+        raises :class:`~repro.runtime.errors.JournalCorruptError`.
+        """
+        from repro.runtime.atomic import atomic_write_text
+
+        lines = self._read_lines()
+        if not lines:
+            return 0
+        try:
+            kept = len(list(self.iter_records())) + 1  # records + header
+        except JournalCorruptError:
+            if len(lines) == 1:  # torn header from the first-ever append
+                atomic_write_text(self.path, "")
+                return 1
+            raise
+        if kept >= len(lines):
+            return 0
+        atomic_write_text(self.path, "\n".join(lines[:kept]) + "\n")
+        return len(lines) - kept
+
+    def _append_line(self, line: str) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- reading ------------------------------------------------------
+
+    def exists(self) -> bool:
+        """True if the journal file exists and is non-empty."""
+        try:
+            return self.path.stat().st_size > 0
+        except OSError:
+            return False
+
+    def header(self) -> dict[str, Any] | None:
+        """The header payload, or None for a missing/empty journal."""
+        lines = self._read_lines()
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalCorruptError(self.path, 1, f"unreadable header ({exc})") from exc
+        if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+            raise JournalCorruptError(
+                self.path, 1, f"not a {JOURNAL_FORMAT} journal"
+            )
+        return header
+
+    def records(self) -> list[dict[str, Any]]:
+        """All validated records, in append order."""
+        return list(self.iter_records())
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Yield records, verifying per-line checksums.
+
+        The final line is allowed to be torn (dropped with a warning);
+        any earlier damage raises
+        :class:`~repro.runtime.errors.JournalCorruptError`.
+        """
+        lines = self._read_lines()
+        if not lines:
+            return
+        self.header()  # validates line 1
+        last = len(lines)
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                entry = json.loads(line)
+                if (
+                    not isinstance(entry, dict)
+                    or "record" not in entry
+                    or entry.get("sha256") != _record_checksum(entry["record"])
+                ):
+                    raise ValueError("record/checksum mismatch")
+            except ValueError as exc:
+                if lineno == last:
+                    log.warning(
+                        "%s:%d: dropping torn final journal line (%s)",
+                        self.path, lineno, exc,
+                    )
+                    return
+                raise JournalCorruptError(self.path, lineno, str(exc)) from exc
+            yield entry["record"]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    def _read_lines(self) -> list[str]:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        return [ln for ln in text.splitlines() if ln.strip()]
+
+
+def coerce_journal(journal: "RunJournal | str | Path | None") -> RunJournal | None:
+    """Accept a journal, a path, or None (helper for API entry points)."""
+    if journal is None or isinstance(journal, RunJournal):
+        return journal
+    return RunJournal(journal)

@@ -1,0 +1,43 @@
+"""Retry policy with exponential backoff for the parallel engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a failed partition.
+
+    ``max_attempts`` counts dispatches of the *same* work (a split
+    partition inherits its parent's attempt count); once exhausted, the
+    engine degrades to running the items serially in the parent
+    process.  Backoff is exponential:
+    ``backoff_base * backoff_factor ** (attempt - 1)``, capped at
+    ``backoff_max``.  ``sleep`` is injectable so tests run instantly.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before dispatching retry number ``attempt``."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+#: used by the engine when the caller does not pass a policy
+DEFAULT_RETRY_POLICY = RetryPolicy()

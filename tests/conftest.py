@@ -1,6 +1,14 @@
-"""Shared fixtures: small generated topologies and warmed caches."""
+"""Shared fixtures: small generated topologies and warmed caches.
+
+Also carries a fallback for the ``timeout`` ini option (pyproject.toml)
+when pytest-timeout is not installed: a SIGALRM-based per-test limit so
+a hung-worker regression still fails fast instead of wedging the suite.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
@@ -9,6 +17,49 @@ from repro.routing.cache import RoutingCache
 from repro.topology.generator import GeneratedTopology, generate_topology
 from repro.topology.graph import ASGraph
 from repro.topology.traffic import apply_traffic_model
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (pytest-timeout fallback shim)",
+            default="0",
+        )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (
+        _HAVE_PYTEST_TIMEOUT  # the real plugin enforces the limit
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+    try:
+        seconds = float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        seconds = 0.0
+    if seconds <= 0:
+        return (yield)
+
+    def _on_alarm(signum, frame):
+        pytest.fail(f"test exceeded the {seconds:g}s fallback timeout", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -34,3 +34,31 @@ class TestCommands:
     def test_case_study(self, capsys):
         assert main(["case-study", "--n", "60", "--theta", "0.05"]) == 0
         assert "early adopters" in capsys.readouterr().out
+
+
+class TestSweepResume:
+    def test_journal_resume_and_out(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        out = tmp_path / "table.txt"
+        assert main(["sweep", "--n", "60", "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        snapshot = journal.read_text()
+
+        # a resumed run replays every cell and prints the same table
+        assert main([
+            "sweep", "--n", "60", "--journal", str(journal),
+            "--resume", "--out", str(out),
+        ]) == 0
+        assert capsys.readouterr().out == first
+        assert journal.read_text() == snapshot
+        assert "Fig 8/9" in out.read_text()
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--n", "60", "--journal", str(journal)]) == 0
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["sweep", "--n", "60", "--journal", str(journal)])
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--journal"):
+            main(["sweep", "--n", "60", "--resume"])

@@ -1,0 +1,158 @@
+"""Fault injection through ProcessEngine: retry, requeue, fallback.
+
+These are the acceptance tests for the crash-tolerant engine: a worker
+that raises, hangs, or is SIGKILLed mid-partition must not fail the
+map — the partition is retried (split to isolate the culprit) and the
+final result list must equal :class:`SerialEngine`'s output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.parallel.engine import (
+    ItemFailure,
+    ProcessEngine,
+    SerialEngine,
+    choose_start_method,
+)
+from repro.runtime.errors import ItemFailedError
+from repro.runtime.faults import FaultInjected, FaultInjector
+from repro.runtime.retry import RetryPolicy
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fault tests target the fork start method",
+)
+
+ITEMS = list(range(40))
+FAST_RETRY = RetryPolicy(max_attempts=5, backoff_base=0.01, backoff_max=0.05)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def expected(items=ITEMS):
+    return SerialEngine().map(square, items)
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_does_not_fail_the_map(self, tmp_path):
+        injector = FaultInjector(
+            {7, 23}, mode="kill", fail_times=1, state_dir=tmp_path, fn=square
+        )
+        engine = ProcessEngine(workers=2, retry=FAST_RETRY)
+        assert engine.map(injector, ITEMS) == expected()
+        assert engine.last_stats.worker_deaths >= 1
+        assert engine.last_stats.retries >= 1
+
+    def test_repeated_kills_survived_by_splitting(self, tmp_path):
+        injector = FaultInjector(
+            {11}, mode="kill", fail_times=3, state_dir=tmp_path, fn=square
+        )
+        engine = ProcessEngine(workers=2, retry=FAST_RETRY)
+        assert engine.map(injector, ITEMS) == expected()
+        assert engine.last_stats.worker_deaths >= 3
+        assert engine.last_stats.splits >= 1
+
+
+class TestHangs:
+    def test_hung_worker_reaped_by_timeout(self, tmp_path):
+        injector = FaultInjector(
+            {5}, mode="hang", fail_times=1, state_dir=tmp_path,
+            hang_seconds=60.0, fn=square,
+        )
+        engine = ProcessEngine(
+            workers=2, retry=FAST_RETRY, partition_timeout=0.5
+        )
+        assert engine.map(injector, ITEMS) == expected()
+        assert engine.last_stats.timeouts >= 1
+
+
+class TestRaises:
+    def test_transient_raise_retried(self, tmp_path):
+        injector = FaultInjector(
+            {3, 17}, mode="raise", fail_times=2, state_dir=tmp_path, fn=square
+        )
+        engine = ProcessEngine(workers=3, retry=FAST_RETRY)
+        assert engine.map(injector, ITEMS) == expected()
+        assert engine.last_stats.worker_errors >= 2
+
+    def test_order_preserved_under_faults(self, tmp_path):
+        items = list(range(50, 0, -1))
+        injector = FaultInjector(
+            {50, 25, 1}, mode="raise", fail_times=1, state_dir=tmp_path, fn=square
+        )
+        engine = ProcessEngine(workers=2, retry=FAST_RETRY)
+        assert engine.map(injector, items) == SerialEngine().map(square, items)
+
+
+class TestSerialFallback:
+    def test_worker_only_failure_degrades_to_parent(self):
+        injector = FaultInjector({4}, mode="raise", only_in_worker=True, fn=square)
+        engine = ProcessEngine(
+            workers=2, retry=RetryPolicy(max_attempts=2, backoff_base=0.005)
+        )
+        assert engine.map(injector, ITEMS) == expected()
+        assert engine.last_stats.serial_fallback_items >= 1
+
+    def test_poisoned_item_reported_with_identity(self):
+        injector = FaultInjector({13}, mode="raise", fn=square)
+        engine = ProcessEngine(
+            workers=2, retry=RetryPolicy(max_attempts=2, backoff_base=0.005)
+        )
+        with pytest.raises(ItemFailedError) as exc_info:
+            engine.map(injector, ITEMS)
+        assert exc_info.value.index == 13
+        assert exc_info.value.item == 13
+        assert isinstance(exc_info.value.__cause__, FaultInjected)
+
+    def test_collect_mode_isolates_poisoned_item(self):
+        injector = FaultInjector({13}, mode="raise", fn=square)
+        engine = ProcessEngine(
+            workers=2, on_error="collect",
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.005),
+        )
+        out = engine.map(injector, ITEMS)
+        assert isinstance(out[13], ItemFailure)
+        assert out[13].index == 13 and not out[13]
+        good = expected()
+        assert [v for i, v in enumerate(out) if i != 13] == [
+            v for i, v in enumerate(good) if i != 13
+        ]
+        assert engine.last_stats.failed_items == 1
+
+
+class TestStartMethodFallback:
+    def test_spawn_start_method_works(self):
+        engine = ProcessEngine(workers=2, start_method="spawn")
+        assert engine.map(square, list(range(8))) == [x * x for x in range(8)]
+
+    def test_unavailable_start_method_rejected(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            ProcessEngine(workers=2, start_method="no-such-method")
+
+    def test_choose_start_method_prefers_fork(self):
+        assert choose_start_method() == "fork"
+
+
+class TestFaultInjector:
+    def test_validates_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultInjector({1}, mode="explode")
+
+    def test_fail_times_requires_state_dir(self):
+        with pytest.raises(ValueError, match="state_dir"):
+            FaultInjector({1}, fail_times=2)
+
+    def test_counter_shared_across_calls(self, tmp_path):
+        injector = FaultInjector(
+            {1}, mode="raise", fail_times=2, state_dir=tmp_path, fn=square
+        )
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                injector(1)
+        assert injector(1) == 1  # third encounter succeeds

@@ -1,0 +1,91 @@
+"""Atomic writes must be all-or-nothing; loaders must detect damage."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    checksum_payload,
+    load_checked_json,
+)
+from repro.runtime.errors import CorruptFileError, SchemaError
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "a much longer first version")
+        atomic_write_text(path, "short")
+        assert path.read_text() == "short"
+
+    def test_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_leaves_original(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"format": "f/1", "v": 1})
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"v": Unserialisable()}, checksum=False)
+        assert load_checked_json(path)["v"] == 1
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestCheckedJson:
+    def test_checksum_embedded_and_stripped(self, tmp_path):
+        path = tmp_path / "r.json"
+        atomic_write_json(path, {"format": "f/1", "v": [1, 2]})
+        raw = json.loads(path.read_text())
+        assert raw["checksum"].startswith("sha256:")
+        assert load_checked_json(path) == {"format": "f/1", "v": [1, 2]}
+
+    def test_truncated_file_is_typed_error(self, tmp_path):
+        path = tmp_path / "r.json"
+        atomic_write_json(path, {"format": "f/1", "v": list(range(100))})
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CorruptFileError, match="truncated or corrupt"):
+            load_checked_json(path)
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        path = tmp_path / "r.json"
+        atomic_write_json(path, {"format": "f/1", "v": 41})
+        path.write_text(path.read_text().replace('"v": 41', '"v": 42'))
+        with pytest.raises(CorruptFileError, match="checksum mismatch"):
+            load_checked_json(path)
+
+    def test_wrong_format_is_schema_error(self, tmp_path):
+        path = tmp_path / "r.json"
+        atomic_write_json(path, {"format": "other/1"})
+        with pytest.raises(SchemaError, match="unrecognised"):
+            load_checked_json(path, expected_format="f/1")
+        # SchemaError is a ValueError for pre-existing callers
+        assert issubclass(SchemaError, ValueError)
+
+    def test_checksumless_legacy_file_loads(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"format": "f/1", "v": 7}))
+        assert load_checked_json(path, expected_format="f/1")["v"] == 7
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SchemaError, match="expected a JSON object"):
+            load_checked_json(path)
+
+    def test_checksum_ignores_key_order(self):
+        assert checksum_payload({"a": 1, "b": 2}) == checksum_payload({"b": 2, "a": 1})
