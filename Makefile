@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test test-resilience bench bench-large examples lint-clean
+.PHONY: install test test-resilience bench bench-json bench-large examples lint-clean
 
 install:
 	pip install -e .
@@ -14,6 +14,13 @@ test-resilience:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Seed/extend the perf trajectory: kernel benches only, machine-readable,
+# dated so successive runs line up chronologically at the repo root.
+bench-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		pytest $(wildcard benchmarks/bench_kernel_*.py) --benchmark-only \
+		--benchmark-json=BENCH_$(shell date +%Y%m%d).json
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only

@@ -41,6 +41,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--theta", type=float, default=0.05, help="deployment threshold")
     parser.add_argument("--augmented", action="store_true", help="use the augmented graph")
     parser.add_argument("--workers", type=int, default=1, help="cache-warm workers")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the merged metrics snapshot (counters, "
+                             "gauges, histograms) to PATH as JSON")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome-trace/Perfetto JSON of the "
+                             "run's spans to PATH")
+    parser.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                        help="also write the span stream as JSONL "
+                             "(one event per line) to PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,19 +82,63 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "experiment" and args.id is None:
-        from repro.experiments.registry import list_experiments
+    if args.command == "experiment":
+        from repro.experiments.registry import EXPERIMENTS, list_experiments
 
-        for e in list_experiments():
-            print(f"{e.id:8s} {e.title}  ({e.paper_ref})")
-        return 0
-    env = build_environment(
-        n=args.n, seed=args.seed, x=args.x, augmented=args.augmented, workers=args.workers
-    )
-    command = args.command.replace("-", "_")
-    handler = globals()[f"_cmd_{command}"]
-    handler(env, args)
+        if args.id is None:
+            for e in list_experiments():
+                print(f"{e.id:8s} {e.title}  ({e.paper_ref})")
+            return 0
+        # Validate before the (expensive) environment build: a typo'd id
+        # should fail in milliseconds, not after warming the cache.
+        if args.id not in EXPERIMENTS:
+            known = ", ".join(sorted(EXPERIMENTS))
+            print(f"unknown experiment id {args.id!r}; valid ids: {known}",
+                  file=sys.stderr)
+            return 2
+
+    telemetry_on = bool(args.metrics_out or args.trace_out or args.trace_jsonl)
+    registry = tracer = None
+    if telemetry_on:
+        from repro import telemetry
+
+        registry, tracer = telemetry.enable()
+    try:
+        env = build_environment(
+            n=args.n, seed=args.seed, x=args.x, augmented=args.augmented,
+            workers=args.workers,
+        )
+        command = args.command.replace("-", "_")
+        handler = globals()[f"_cmd_{command}"]
+        handler(env, args)
+        if telemetry_on:
+            _write_telemetry(args, registry, tracer)
+    finally:
+        if telemetry_on:
+            from repro import telemetry
+
+            telemetry.disable()
     return 0
+
+
+def _write_telemetry(args, registry, tracer) -> None:
+    """Write the requested telemetry files and print the summary table."""
+    from repro.telemetry.export import summary_rows, write_metrics
+
+    snapshot = registry.snapshot()
+    if args.metrics_out:
+        write_metrics(args.metrics_out, snapshot)
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+    if args.trace_jsonl:
+        tracer.write_jsonl(args.trace_jsonl)
+    if args.command in ("case-study", "sweep"):
+        print()
+        print(format_table(
+            ["metric", "type", "value", "detail"],
+            summary_rows(snapshot),
+            title="telemetry summary",
+        ))
 
 
 def _cmd_case_study(env, args) -> None:
@@ -205,6 +258,14 @@ def _cmd_graph_stats(env, args) -> None:
         title="Table 2: graph summary",
     ))
     print("top-5 by degree:", top_by_degree(env.graph, 5))
+    cs = env.cache.stats()
+    print(format_table(
+        ["hits", "misses", "builds", "installs", "warm s", "cached", "fraction"],
+        [[cs.hits, cs.misses, cs.builds, cs.installs,
+          f"{cs.warm_seconds:.2f}", f"{cs.cached}/{cs.total}",
+          f"{cs.cached_fraction:.1%}"]],
+        title="routing cache",
+    ))
 
 
 if __name__ == "__main__":  # pragma: no cover

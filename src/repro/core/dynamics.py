@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -29,6 +30,8 @@ from repro.core.projection import Projection, project_flip
 from repro.core.state import DeploymentState, StateDeriver
 from repro.routing.cache import RoutingCache
 from repro.runtime.journal import RunJournal, coerce_journal
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer
 from repro.topology.graph import ASGraph
 from repro.topology.relationships import ASRole
 
@@ -190,6 +193,8 @@ class DeploymentSimulation:
         series are recoverable from it).
         """
         cfg = self.config
+        registry = get_registry()
+        tracer = get_tracer()
         journal = coerce_journal(journal)
         if journal is not None:
             journal.ensure_header(SIMULATION_JOURNAL_KIND, self._journal_meta())
@@ -197,25 +202,30 @@ class DeploymentSimulation:
         rounds: list[RoundRecord] = []
         seen_states: dict[frozenset[int], int] = {self.state.deployers: 0}
         outcome = Outcome.MAX_ROUNDS
-        rd = compute_round_data(self.cache, self.deriver, self.state, cfg.utility_model)
-
-        for index in range(1, cfg.max_rounds + 1):
-            record = self._play_round(index, rd)
-            rounds.append(record)
-            if journal is not None:
-                journal.append(self._round_summary(record))
-            if not record.turned_on and not record.turned_off:
-                outcome = Outcome.STABLE
-                break
-            self.state = self.state.with_flips(
-                turn_on=record.turned_on, turn_off=record.turned_off
-            )
+        round_timer = registry.histogram("sim.round_seconds")
+        with tracer.span("simulation", n=self.graph.n, theta=cfg.theta):
             rd = compute_round_data(self.cache, self.deriver, self.state, cfg.utility_model)
-            key = self.state.deployers
-            if key in seen_states:
-                outcome = Outcome.OSCILLATION
-                break
-            seen_states[key] = index
+
+            for index in range(1, cfg.max_rounds + 1):
+                with tracer.span("round", index=index), round_timer.time():
+                    record = self._play_round(index, rd)
+                    rounds.append(record)
+                    if journal is not None:
+                        journal.append(self._round_summary(record))
+                    if not record.turned_on and not record.turned_off:
+                        outcome = Outcome.STABLE
+                        break
+                    self.state = self.state.with_flips(
+                        turn_on=record.turned_on, turn_off=record.turned_off
+                    )
+                    rd = compute_round_data(
+                        self.cache, self.deriver, self.state, cfg.utility_model
+                    )
+                    key = self.state.deployers
+                    if key in seen_states:
+                        outcome = Outcome.OSCILLATION
+                        break
+                    seen_states[key] = index
 
         if journal is not None:
             journal.append({
@@ -271,9 +281,11 @@ class DeploymentSimulation:
 
     def _play_round(self, index: int, rd: RoundData) -> RoundRecord:
         cfg = self.config
+        registry = get_registry()
         projections: dict[int, Projection] = {}
         turned_on: list[int] = []
         turned_off: list[int] = []
+        proj_start = time.perf_counter() if registry.enabled else 0.0
 
         for isp in self._decision_makers(turning_on=True):
             proj = project_flip(
@@ -293,6 +305,15 @@ class DeploymentSimulation:
                 projections[int(isp)] = proj
                 if self._wants_flip(int(isp), rd, proj):
                     turned_off.append(int(isp))
+
+        if registry.enabled:
+            registry.histogram("sim.projection_seconds").observe(
+                time.perf_counter() - proj_start
+            )
+            registry.counter("sim.rounds").inc()
+            registry.counter("sim.decision_makers_evaluated").inc(len(projections))
+            registry.counter("sim.flips_on").inc(len(turned_on))
+            registry.counter("sim.flips_off").inc(len(turned_off))
 
         return RoundRecord(
             index=index,

@@ -31,6 +31,8 @@ from repro.core.metrics import (
 from repro.core.state import StateDeriver
 from repro.experiments.setup import ExperimentEnv
 from repro.runtime.journal import RunJournal, coerce_journal
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer
 
 #: the theta grid of Fig. 8
 DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50)
@@ -177,20 +179,28 @@ def run_sweep(
                 cell = cell_from_dict(record["cell"])
                 done[(cell.adopters, cell.theta)] = cell
 
+    registry = get_registry()
+    tracer = get_tracer()
+    cell_timer = registry.histogram("sweep.cell_seconds")
     cells: list[SweepCell] = []
-    for name, adopters in adopter_sets.items():
-        for theta in thetas:
-            cached = done.get((name, float(theta)))
-            if cached is not None:
-                cells.append(cached)
-                continue
-            cell = _run_cell(
-                env, name, adopters, theta, stub_breaks_ties,
-                utility_model, collect_projection_accuracy, max_rounds,
-            )
-            if journal is not None:
-                journal.append({"type": "cell", "cell": cell_to_dict(cell)})
-            cells.append(cell)
+    with tracer.span("sweep", cells=len(adopter_sets) * len(thetas)):
+        for name, adopters in adopter_sets.items():
+            for theta in thetas:
+                cached = done.get((name, float(theta)))
+                if cached is not None:
+                    registry.counter("sweep.cells_replayed").inc()
+                    cells.append(cached)
+                    continue
+                with tracer.span("cell", adopters=name, theta=float(theta)), \
+                        cell_timer.time():
+                    cell = _run_cell(
+                        env, name, adopters, theta, stub_breaks_ties,
+                        utility_model, collect_projection_accuracy, max_rounds,
+                    )
+                registry.counter("sweep.cells").inc()
+                if journal is not None:
+                    journal.append({"type": "cell", "cell": cell_to_dict(cell)})
+                cells.append(cell)
     return cells
 
 

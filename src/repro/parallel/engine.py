@@ -38,6 +38,8 @@ from typing import Callable, Sequence, TypeVar
 from repro.parallel.partition import partition
 from repro.runtime.errors import ItemFailedError
 from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.worker import finish_capture, merge_worker_snapshot, start_capture
 
 log = logging.getLogger(__name__)
 
@@ -137,16 +139,24 @@ class _Task:
     pairs: list[tuple[int, object]]
     attempts: int = 0
     not_before: float = 0.0
+    enqueued_at: float = dataclasses.field(default_factory=time.monotonic)
 
 
 def _child_main(conn, fn, pairs) -> None:
-    """Worker body: map ``fn`` over the partition, ship one message back."""
+    """Worker body: map ``fn`` over the partition, ship one message back.
+
+    When the parent's telemetry was enabled (and the fork start method
+    carried that state over), the worker records into a fresh registry
+    and ships its snapshot back with the results so the parent can
+    aggregate per-worker counters and histograms.
+    """
     try:
+        capture = start_capture()
         out = [(idx, fn(item)) for idx, item in pairs]
-        conn.send(("ok", out))
+        conn.send(("ok", out, finish_capture(capture)))
     except BaseException as exc:  # report, never hang the parent
         try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.send(("err", f"{type(exc).__name__}: {exc}", None))
         except Exception:
             pass
     finally:
@@ -169,18 +179,27 @@ class _Worker:
         child_conn.close()  # parent keeps only the read end
         self.deadline = None if timeout is None else time.monotonic() + timeout
 
-    def reap(self) -> tuple[str, object]:
-        """Read the worker's message: ("ok", pairs) | ("err", msg) | ("dead", msg)."""
+    def reap(self) -> tuple[str, object, dict | None]:
+        """Read the worker's message.
+
+        Returns ``("ok", pairs, snapshot)``, ``("err", msg, None)`` or
+        ``("dead", msg, None)``; ``snapshot`` is the worker's telemetry
+        snapshot (None when telemetry is disabled or unavailable).
+        """
         try:
-            kind, payload = self.conn.recv()
+            kind, payload, snapshot = self.conn.recv()
         except (EOFError, OSError):
             self.terminate()
-            return ("dead", f"worker exited abnormally (exitcode {self.process.exitcode})")
+            return (
+                "dead",
+                f"worker exited abnormally (exitcode {self.process.exitcode})",
+                None,
+            )
         self.process.join(timeout=10)
         if self.process.is_alive():  # sent a result but won't exit
             self.terminate()
         self.conn.close()
-        return (kind, payload)
+        return (kind, payload, snapshot)
 
     def terminate(self) -> None:
         """Force the worker down (terminate, then kill) and close the pipe."""
@@ -273,13 +292,24 @@ class ProcessEngine(MapReduceEngine):
         finally:
             for worker in live:
                 worker.terminate()
+        self._publish_stats(stats)
         return results
+
+    def _publish_stats(self, stats: MapStats) -> None:
+        """Fold this map's fault accounting into the active registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.counter("engine.maps").inc()
+        for field in dataclasses.fields(MapStats):
+            registry.counter(f"engine.{field.name}").inc(getattr(stats, field.name))
 
     # -- dispatch -----------------------------------------------------
 
     def _dispatch(self, ctx, fn, queue, live, results, stats) -> None:
         """Start workers for every ready task while slots are free."""
         now = time.monotonic()
+        queue_wait = get_registry().histogram("engine.partition_queue_wait_seconds")
         held: list[_Task] = []
         while queue and len(live) < self.workers:
             task = queue.popleft()
@@ -289,6 +319,7 @@ class ProcessEngine(MapReduceEngine):
             if task.attempts >= self.retry.max_attempts:
                 self._run_serially(fn, task, results, stats)
                 continue
+            queue_wait.observe(time.monotonic() - task.enqueued_at)
             live.append(_Worker(ctx, fn, task, self.partition_timeout))
             stats.dispatched += 1
         queue.extendleft(reversed(held))
@@ -336,10 +367,11 @@ class ProcessEngine(MapReduceEngine):
         survivors: list[_Worker] = []
         for worker in live:
             if worker.conn in ready:
-                kind, payload = worker.reap()
+                kind, payload, snapshot = worker.reap()
                 if kind == "ok":
                     for idx, value in payload:
                         results[idx] = value
+                    merge_worker_snapshot(snapshot)
                 else:
                     if kind == "err":
                         stats.worker_errors += 1
@@ -406,9 +438,12 @@ class _DestRoutingBuilder:
         from repro.routing.cache import POLICIES, _register_policies
 
         _register_policies()
-        dr = POLICIES[self.policy](self.graph, dest, self.compiled)
-        if self.transform is not None:
-            dr = self.transform(dr)
+        registry = get_registry()
+        with registry.histogram("routing.tree_build_seconds").time():
+            dr = POLICIES[self.policy](self.graph, dest, self.compiled)
+            if self.transform is not None:
+                dr = self.transform(dr)
+        registry.counter("routing.tree_builds").inc()
         return dr
 
 
@@ -426,5 +461,7 @@ def parallel_warm_cache(cache, workers: int = 1) -> None:
     build = _DestRoutingBuilder(
         cache.graph, cache.compiled, cache.policy, cache.transform
     )
+    start = time.perf_counter()
     for dest, dr in zip(todo, engine.map(build, todo)):
         cache.install(dest, dr)
+    cache.note_warm_time(time.perf_counter() - start)

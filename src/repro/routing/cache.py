@@ -10,12 +10,15 @@ filter destinations.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Callable
 
 import numpy as np
 
 from repro.routing.compiled import CompiledGraph
 from repro.routing.tree import DestRouting, compute_dest_routing
+from repro.telemetry.metrics import get_registry
 from repro.topology.graph import ASGraph
 
 #: routing-policy registry: name -> compute function.  "gao-rexford" is
@@ -29,6 +32,37 @@ def _register_policies() -> None:
 
     POLICIES.setdefault("gao-rexford", compute_dest_routing)
     POLICIES.setdefault("sp-first", compute_dest_routing_sp_first)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Public accounting for one :class:`RoutingCache` instance.
+
+    ``warm_seconds`` sums in-process tree-build time plus any parallel
+    warm wall time noted via :meth:`RoutingCache.note_warm_time`;
+    ``installs`` counts trees computed elsewhere (worker processes) and
+    shipped in, whose per-tree build time lives in the workers'
+    telemetry snapshots rather than here.
+    """
+
+    hits: int
+    misses: int
+    builds: int
+    installs: int
+    warm_seconds: float
+    cached: int
+    total: int
+
+    @property
+    def cached_fraction(self) -> float:
+        """Fraction of this cache's destinations already computed."""
+        return self.cached / self.total if self.total else 1.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all lookups (NaN-free: 0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 class RoutingCache:
@@ -70,6 +104,11 @@ class RoutingCache:
         self._dest_pos = {d: k for k, d in enumerate(self.destinations)}
         self._routing: dict[int, DestRouting] = {}
         self._cls_matrix: np.ndarray | None = None
+        self._hits = 0
+        self._misses = 0
+        self._builds = 0
+        self._installs = 0
+        self._warm_seconds = 0.0
 
     @property
     def n(self) -> int:
@@ -79,11 +118,23 @@ class RoutingCache:
     def dest_routing(self, dest: int) -> DestRouting:
         """The :class:`DestRouting` for ``dest`` (computed on first use)."""
         dr = self._routing.get(dest)
+        registry = get_registry()
         if dr is None:
+            self._misses += 1
+            registry.counter("routing.cache.misses").inc()
+            start = time.perf_counter()
             dr = POLICIES[self.policy](self.graph, dest, self.compiled)
             if self.transform is not None:
                 dr = self.transform(dr)
+            elapsed = time.perf_counter() - start
+            self._builds += 1
+            self._warm_seconds += elapsed
+            registry.counter("routing.tree_builds").inc()
+            registry.histogram("routing.tree_build_seconds").observe(elapsed)
             self._routing[dest] = dr
+        else:
+            self._hits += 1
+            registry.counter("routing.cache.hits").inc()
         return dr
 
     def warm(self) -> None:
@@ -101,7 +152,29 @@ class RoutingCache:
         """
         if dest not in self._dest_pos:
             raise KeyError(f"destination {dest} not in cache")
+        self._installs += 1
         self._routing[dest] = routing
+
+    def note_warm_time(self, seconds: float) -> None:
+        """Attribute externally-measured warm wall time to this cache.
+
+        Called by :func:`repro.parallel.engine.parallel_warm_cache` with
+        the wall time of the whole warm map, since installed trees carry
+        no per-tree timing of their own.
+        """
+        self._warm_seconds += seconds
+
+    def stats(self) -> CacheStats:
+        """Current :class:`CacheStats` (hits, misses, warm time, fill)."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            builds=self._builds,
+            installs=self._installs,
+            warm_seconds=self._warm_seconds,
+            cached=len(self._routing),
+            total=len(self.destinations),
+        )
 
     def is_cached(self, dest: int) -> bool:
         """True if ``dest`` has already been computed or installed."""

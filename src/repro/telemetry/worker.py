@@ -1,0 +1,49 @@
+"""Worker-side telemetry capture for the process engine.
+
+With the ``fork`` start method a child inherits the parent's active
+registry *object* — but mutations to the copy never reach the parent.
+The flow is therefore explicit: the child swaps in a fresh registry for
+the duration of its partition, snapshots it, and ships the snapshot
+back alongside its results; the parent folds every worker snapshot into
+its own registry (counters sum, histograms add bucket-wise).  With
+``spawn`` the child re-imports and sees the no-op default, so capture
+yields ``None`` and the engine ships nothing — degraded visibility,
+never wrong numbers.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+__all__ = ["start_capture", "finish_capture", "merge_worker_snapshot"]
+
+
+def start_capture() -> MetricsRegistry | None:
+    """In a worker: install a fresh registry if telemetry is enabled.
+
+    Returns the fresh registry (pass it to :func:`finish_capture`), or
+    None when telemetry is disabled — the hot path then stays no-op.
+    """
+    if not get_registry().enabled:
+        return None
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+def finish_capture(registry: MetricsRegistry | None) -> dict | None:
+    """Snapshot and uninstall a :func:`start_capture` registry."""
+    if registry is None:
+        return None
+    set_registry(None)
+    return registry.snapshot()
+
+
+def merge_worker_snapshot(snapshot: dict | None) -> None:
+    """In the parent: fold a shipped worker snapshot into the active registry."""
+    if snapshot:
+        get_registry().merge_snapshot(snapshot)

@@ -36,6 +36,69 @@ class TestCommands:
         assert "early adopters" in capsys.readouterr().out
 
 
+class TestExperimentValidation:
+    def test_unknown_id_fails_fast_with_valid_ids(self, capsys):
+        # must fail before the environment build, so even a large --n
+        # returns immediately
+        assert main(["experiment", "--id", "nope", "--n", "100000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id 'nope'" in err
+        assert "fig8" in err and "table2" in err
+
+    def test_known_id_runs(self, capsys):
+        assert main(["experiment", "--id", "table2", "--n", "60"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_sweep_writes_metrics_and_trace(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert main([
+            "sweep", "--n", "60", "--workers", "2",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+            "--trace-jsonl", str(jsonl),
+        ]) == 0
+        assert "telemetry summary" in capsys.readouterr().out
+
+        from repro.telemetry.export import load_metrics
+
+        snap = load_metrics(metrics)
+        # worker-side counters (tree builds in the warm workers) merged in
+        assert snap["counters"]["routing.tree_builds"] == 60
+        assert snap["counters"]["sweep.cells"] > 0
+        assert snap["counters"]["engine.maps"] >= 1
+
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"sweep", "cell", "round"} <= names
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        assert jsonl.read_text().count("\n") == len(payload["traceEvents"])
+
+    def test_case_study_prints_summary(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        assert main([
+            "case-study", "--n", "60", "--metrics-out", str(metrics),
+        ]) == 0
+        assert "telemetry summary" in capsys.readouterr().out
+        assert metrics.exists()
+
+    def test_no_flags_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["case-study", "--n", "60"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_graph_stats_prints_cache_stats(self, capsys):
+        assert main(["graph-stats", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "routing cache" in out
+        assert "100.0%" in out
+
+
 class TestSweepResume:
     def test_journal_resume_and_out(self, capsys, tmp_path):
         journal = tmp_path / "sweep.jsonl"

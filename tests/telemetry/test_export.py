@@ -1,0 +1,100 @@
+"""Snapshot merge, Prometheus rendering, and file round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.export import (
+    load_metrics,
+    merge_snapshots,
+    render_prometheus,
+    summary_rows,
+    write_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _snap(counter=0.0, obs=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("work.items").inc(counter)
+    for v in obs:
+        reg.histogram("work.seconds", bounds=(1.0, 10.0)).observe(v)
+    return reg.snapshot()
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        merged = merge_snapshots([_snap(counter=2), _snap(counter=3)])
+        assert merged["counters"]["work.items"] == 5
+
+    def test_histograms_add_bucketwise(self):
+        merged = merge_snapshots([_snap(obs=(0.5, 5.0)), _snap(obs=(0.5, 99.0))])
+        hist = merged["histograms"]["work.seconds"]
+        assert hist["counts"] == [2, 1, 1]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(105.0)
+
+    def test_multi_worker_merge_matches_registry_merge(self):
+        # The parent-side registry fold and the pure-dict fold agree.
+        workers = [_snap(counter=i, obs=(float(i),)) for i in (1, 2, 3)]
+        merged = merge_snapshots(workers)
+        parent = MetricsRegistry()
+        for snap in workers:
+            parent.merge_snapshot(snap)
+        assert parent.snapshot() == merged
+
+    def test_mismatched_bounds_rejected(self):
+        a = _snap(obs=(0.5,))
+        b = _snap(obs=(0.5,))
+        b["histograms"]["work.seconds"]["bounds"] = [2.0, 20.0]
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots([a, b])
+
+    def test_gauges_last_write_wins(self):
+        a = {"gauges": {"depth": 3}}
+        b = {"gauges": {"depth": 7}}
+        assert merge_snapshots([a, b])["gauges"]["depth"] == 7
+
+
+class TestPrometheus:
+    def test_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("routing.cache.hits").inc(4)
+        reg.gauge("engine.live_workers").set(2)
+        reg.histogram("sim.round_seconds", bounds=(1.0,)).observe(0.5)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_routing_cache_hits counter" in text
+        assert "repro_routing_cache_hits_total 4" in text
+        assert "repro_engine_live_workers 2" in text
+        assert 'repro_sim_round_seconds_bucket{le="1"} 1' in text
+        assert 'repro_sim_round_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_sim_round_seconds_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        snap = _snap(counter=5, obs=(0.5,))
+        path = tmp_path / "metrics.json"
+        write_metrics(path, snap)
+        assert load_metrics(path) == snap
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        from repro.runtime.atomic import atomic_write_json
+        from repro.runtime.errors import SchemaError
+
+        path = tmp_path / "bad.json"
+        atomic_write_json(path, {"format": "something-else"})
+        with pytest.raises(SchemaError):
+            load_metrics(path)
+
+
+class TestSummary:
+    def test_one_row_per_instrument(self):
+        snap = _snap(counter=5, obs=(0.5, 2.0))
+        rows = summary_rows(snap)
+        names = [row[0] for row in rows]
+        assert names == ["work.items", "work.seconds"]
+        kinds = [row[1] for row in rows]
+        assert kinds == ["counter", "histogram"]

@@ -1,0 +1,59 @@
+"""Disabled-mode overhead regression.
+
+The default registry/tracer must make instrumentation effectively free:
+``_play_round`` adds one ``get_registry()`` resolution, one ``enabled``
+branch, and a handful of shared no-op instrument calls per round (plus
+one no-op span and histogram-timer per round in ``run``).  This test
+times exactly that added work and asserts it stays in the microsecond
+range per round — vs. round bodies that cost milliseconds even on toy
+graphs, i.e. within measurement noise of an un-instrumented build.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import SimulationConfig
+from repro.core.dynamics import DeploymentSimulation
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer
+
+ROUNDS = 10_000
+
+#: generous per-round budget for the disabled-mode instrumentation
+#: block (the real figure is tens of nanoseconds; CI boxes are noisy).
+PER_ROUND_BUDGET_SECONDS = 50e-6
+
+
+def _disabled_round_instrumentation() -> None:
+    """The exact telemetry work one disabled-mode round performs."""
+    registry = get_registry()
+    with get_tracer().span("round", index=1), \
+            registry.histogram("sim.round_seconds").time():
+        if registry.enabled:  # pragma: no cover - disabled mode
+            raise AssertionError("test requires the default no-op registry")
+
+
+def test_disabled_mode_round_overhead_is_noise():
+    assert not get_registry().enabled
+    _disabled_round_instrumentation()  # warm attribute caches
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        _disabled_round_instrumentation()
+    per_round = (time.perf_counter() - start) / ROUNDS
+    assert per_round < PER_ROUND_BUDGET_SECONDS, (
+        f"disabled-mode telemetry costs {per_round * 1e6:.1f}us/round "
+        f"(budget {PER_ROUND_BUDGET_SECONDS * 1e6:.0f}us)"
+    )
+
+
+def test_disabled_run_records_nothing(medium_env):
+    config = SimulationConfig(theta=0.05, max_rounds=10)
+    sim = DeploymentSimulation(
+        medium_env.graph, medium_env.case_study_adopters(), config, medium_env.cache
+    )
+    sim.run()
+    assert get_registry().snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    assert get_tracer().events() == []
