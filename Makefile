@@ -1,6 +1,11 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test test-resilience bench bench-json bench-large examples lint-clean
+.PHONY: install test test-resilience bench bench-json bench-compare bench-large examples lint-clean
+
+# Compare the oldest and newest BENCH_*.json snapshots (override with
+# BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
+BENCH_OLD ?= $(firstword $(sort $(wildcard BENCH_*.json)))
+BENCH_NEW ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
 install:
 	pip install -e .
@@ -21,6 +26,9 @@ bench-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		pytest $(wildcard benchmarks/bench_kernel_*.py) --benchmark-only \
 		--benchmark-json=BENCH_$(shell date +%Y%m%d).json
+
+bench-compare:
+	python scripts/bench_compare.py $(BENCH_OLD) $(BENCH_NEW)
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.routing.arena import compute_trees_batched, subtree_weights_batched
 from repro.routing.fast_tree import compute_tree, compute_tree_scalar, subtree_weights
 from repro.routing.tree import compute_dest_routing
 
@@ -44,3 +45,35 @@ def test_kernel_subtree_weights(benchmark, env, secure_state):
     tree = compute_tree(dr, secure_state, secure_state)
     w = benchmark(lambda: subtree_weights(dr, tree, env.graph.weights))
     assert w.sum() > 0
+
+
+def test_kernel_batched_trees_all_dests(benchmark, env, secure_state):
+    """Whole-destination-set resolution in one stacked kernel pass."""
+    arena = env.cache.ensure_arena()
+    slots = arena.all_slots()
+    bt = benchmark(
+        lambda: compute_trees_batched(arena, slots, secure_state, secure_state)
+    )
+    assert bt.choice.shape == (arena.num_dests, env.graph.n)
+
+
+def test_kernel_per_dest_trees_all_dests(benchmark, env, secure_state):
+    """The pre-arena baseline: one compute_tree call per destination."""
+    arena = env.cache.ensure_arena()
+    views = arena.views()
+
+    def run():
+        return [compute_tree(dr, secure_state, secure_state) for dr in views]
+
+    trees = benchmark(run)
+    assert len(trees) == arena.num_dests
+
+
+def test_kernel_batched_subtree_weights(benchmark, env, secure_state):
+    arena = env.cache.ensure_arena()
+    slots = arena.all_slots()
+    bt = compute_trees_batched(arena, slots, secure_state, secure_state)
+    w2d = benchmark(
+        lambda: subtree_weights_batched(arena, slots, bt.choice, env.graph.weights)
+    )
+    assert w2d.shape == (arena.num_dests, env.graph.n)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff two pytest-benchmark JSON files and report kernel regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Prints a per-benchmark table of mean runtimes and flags every benchmark
+whose mean regressed by more than ``--threshold`` (default 10%).  Exits
+non-zero when regressions are found, so the comparison can gate a local
+workflow — CI runs it as a *non-blocking* smoke signal (shared runners
+are too noisy to make hard promises about wall-clock).
+
+Benchmarks present in only one file are listed but never counted as
+regressions (new benchmarks appear, old ones retire).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = float(bench["stats"]["mean"])
+    return out
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.2f}s "
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+    only: str | None = None,
+) -> list[str]:
+    """Print the comparison table; return the regressed benchmark names."""
+    names = sorted(set(baseline) | set(current))
+    if only:
+        names = [n for n in names if only in n]
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'speedup':>8}")
+    regressions: list[str] = []
+    for name in names:
+        old, new = baseline.get(name), current.get(name)
+        if old is None or new is None:
+            status = "(baseline only)" if new is None else "(new)"
+            have = fmt_seconds(old if new is None else new)
+            print(f"{name:<{width}}  {have:>10}  {status}")
+            continue
+        speedup = old / new if new else float("inf")
+        marker = ""
+        if new > old * (1.0 + threshold):
+            marker = f"  REGRESSION (>{threshold:.0%})"
+            regressions.append(name)
+        print(
+            f"{name:<{width}}  {fmt_seconds(old):>10}  {fmt_seconds(new):>10}"
+            f"  {speedup:7.2f}x{marker}"
+        )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="older BENCH_*.json")
+    parser.add_argument("current", help="newer BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="fractional slowdown that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="restrict the comparison to benchmark names containing this substring",
+    )
+    args = parser.parse_args(argv)
+    regressions = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold, args.only
+    )
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

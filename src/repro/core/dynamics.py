@@ -287,24 +287,18 @@ class DeploymentSimulation:
         turned_off: list[int] = []
         proj_start = time.perf_counter() if registry.enabled else 0.0
 
-        for isp in self._decision_makers(turning_on=True):
-            proj = project_flip(
-                self.cache, self.deriver, rd, int(isp),
-                turning_on=True, model=cfg.utility_model, engine=cfg.projection,
-            )
-            projections[int(isp)] = proj
-            if self._wants_flip(int(isp), rd, proj):
-                turned_on.append(int(isp))
-
+        jobs: list[tuple[int, bool]] = [
+            (int(isp), True) for isp in self._decision_makers(turning_on=True)
+        ]
         if cfg.turn_off_enabled:
-            for isp in self._decision_makers(turning_on=False):
-                proj = project_flip(
-                    self.cache, self.deriver, rd, int(isp),
-                    turning_on=False, model=cfg.utility_model, engine=cfg.projection,
-                )
-                projections[int(isp)] = proj
-                if self._wants_flip(int(isp), rd, proj):
-                    turned_off.append(int(isp))
+            jobs.extend(
+                (int(isp), False) for isp in self._decision_makers(turning_on=False)
+            )
+
+        for (isp, turning_on), proj in zip(jobs, self._project_jobs(rd, jobs)):
+            projections[isp] = proj
+            if self._wants_flip(isp, rd, proj):
+                (turned_on if turning_on else turned_off).append(isp)
 
         if registry.enabled:
             registry.histogram("sim.projection_seconds").observe(
@@ -324,6 +318,31 @@ class DeploymentSimulation:
             turned_on=turned_on,
             turned_off=turned_off,
         )
+
+    def _project_jobs(self, rd: RoundData, jobs: list[tuple[int, bool]]) -> list[Projection]:
+        """Evaluate the round's flip projections, serially or fanned out.
+
+        With ``config.workers > 1`` the independent per-ISP projections
+        run on the process engine (fork copy-on-write; only index pairs
+        and scalar-sized projections cross the pipes — see
+        :func:`repro.parallel.engine.parallel_project_flips`).
+        """
+        cfg = self.config
+        if cfg.workers > 1 and len(jobs) > 1:
+            from repro.parallel.engine import parallel_project_flips
+
+            return parallel_project_flips(
+                self.cache, self.deriver, rd, jobs,
+                model=cfg.utility_model, projection=cfg.projection,
+                workers=cfg.workers,
+            )
+        return [
+            project_flip(
+                self.cache, self.deriver, rd, isp,
+                turning_on=turning_on, model=cfg.utility_model, engine=cfg.projection,
+            )
+            for isp, turning_on in jobs
+        ]
 
     def _decision_makers(self, turning_on: bool) -> Sequence[int]:
         deployers = self.state.deployers

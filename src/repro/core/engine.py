@@ -22,8 +22,14 @@ import numpy as np
 
 from repro.core.config import UtilityModel
 from repro.core.state import DeploymentState, StateDeriver
+from repro.routing.arena import (
+    BatchedTrees,
+    RoutingArena,
+    compute_trees_batched,
+    subtree_weights_batched,
+)
 from repro.routing.cache import RoutingCache
-from repro.routing.fast_tree import RoutingTree, compute_tree, subtree_weights
+from repro.routing.fast_tree import RoutingTree  # noqa: F401  (re-export)
 from repro.routing.policy import RouteClass
 from repro.routing.tree import DestRouting
 
@@ -102,28 +108,28 @@ def compute_round_data(
     state: DeploymentState,
     model: UtilityModel,
 ) -> RoundData:
-    """Resolve all routing trees and utilities for ``state``."""
+    """Resolve all routing trees and utilities for ``state``.
+
+    Runs on the pooled :class:`~repro.routing.arena.RoutingArena`
+    (built on first use): every destination's tree is resolved by the
+    batched level-synchronous kernel in one stacked pass, and the
+    security/candidate matrices are the kernel's output buffers —
+    no per-destination copies.
+    """
     graph = cache.graph
     node_secure = deriver.node_secure(state)
     breaks = deriver.breaks_ties(node_secure)
     w = graph.weights
 
-    num_dests = len(cache.destinations)
-    n = graph.n
-    utilities = np.zeros(n, dtype=np.float64)
-    sec_matrix = np.zeros((num_dests, n), dtype=bool)
-    any_sec_matrix = np.zeros((num_dests, n), dtype=bool)
-    dest_states: list[DestState] = []
-
-    for k, dest in enumerate(cache.destinations):
-        dr = cache.dest_routing(dest)
-        tree = compute_tree(dr, node_secure, breaks)
-        weights = subtree_weights(dr, tree, w)
-        ds = DestState(dr=dr, tree=tree, weights=weights)
-        dest_states.append(ds)
-        sec_matrix[k] = tree.secure
-        any_sec_matrix[k] = tree.any_secure_candidate
-        _accumulate_utility(utilities, ds, w, model)
+    arena = cache.ensure_arena()
+    slots = arena.all_slots()
+    bt = compute_trees_batched(arena, slots, node_secure, breaks)
+    w2d = subtree_weights_batched(arena, slots, bt.choice, w)
+    dest_states = [
+        DestState(dr=cache.dest_routing(dest), tree=bt.tree(k), weights=w2d[k])
+        for k, dest in enumerate(cache.destinations)
+    ]
+    utilities = _batched_utilities(arena, bt, w2d, w, model)
 
     secure_positions = np.flatnonzero(
         node_secure[np.asarray(cache.destinations, dtype=np.int64)]
@@ -134,27 +140,33 @@ def compute_round_data(
         breaks_ties=breaks,
         dest_states=dest_states,
         utilities=utilities,
-        sec_matrix=sec_matrix,
-        any_sec_matrix=any_sec_matrix,
+        sec_matrix=bt.secure,
+        any_sec_matrix=bt.any_secure,
         secure_dest_positions=secure_positions,
     )
 
 
-def _accumulate_utility(
-    utilities: np.ndarray, ds: DestState, node_weights: np.ndarray, model: UtilityModel
-) -> None:
-    cls = ds.dr.cls
+def _batched_utilities(
+    arena: RoutingArena,
+    bt: BatchedTrees,
+    w2d: np.ndarray,
+    node_weights: np.ndarray,
+    model: UtilityModel,
+) -> np.ndarray:
+    """Reduce the ``[num_dests, n]`` subtree weights into per-AS utility."""
+    n = arena.graph_n
+    cls2d = arena.cls
     if model is UtilityModel.OUTGOING:
-        mask = cls == _CUSTOMER
-        utilities[mask] += ds.weights[mask]
-    else:
-        sources = np.flatnonzero(cls == _PROVIDER)
-        if len(sources):
-            np.add.at(
-                utilities,
-                ds.tree.choice[sources],
-                ds.weights[sources] + node_weights[sources],
-            )
+        return np.where(cls2d == _CUSTOMER, w2d, 0.0).sum(axis=0)
+    mask = cls2d == _PROVIDER
+    if not mask.any():
+        return np.zeros(n, dtype=np.float64)
+    _, src_nodes = np.nonzero(mask)
+    return np.bincount(
+        bt.choice[mask],
+        weights=w2d[mask] + node_weights[src_nodes],
+        minlength=n,
+    )
 
 
 def utilities_for_state(

@@ -38,14 +38,15 @@ from repro.core.engine import (
     outgoing_contribution,
 )
 from repro.core.state import StateDeriver
+from repro.routing.arena import compute_trees_batched, subtree_weights_batched
 from repro.routing.cache import RoutingCache
 from repro.routing.fast_tree import compute_tree, subtree_weights
-from repro.routing.policy import POSITION_BITS, RouteClass, tie_hash_array
+from repro.routing.policy import RouteClass
 from repro.routing.tree import DestRouting
 
 _CUSTOMER = int(RouteClass.CUSTOMER)
 _PROVIDER = int(RouteClass.PROVIDER)
-_HASH_MASK = ~np.uint64((1 << POSITION_BITS) - 1)
+_BLOCKED = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,38 +91,41 @@ def project_flip(
     recomputed = 0
     touched = 0
 
-    # Destinations whose *own* security status changes: full recompute.
+    # Destinations whose *own* security status changes always need a
+    # full recompute; under the FULL engine so do all reroutable
+    # candidates.  Everything needing a full recompute goes through the
+    # batched arena kernel in ONE stacked pass.
     special_positions: set[int] = set()
     for node in flips:
         pos = cache.position_of(node)
         if pos is not None:
             special_positions.add(pos)
-    for pos in special_positions:
-        old_ds = rd.dest_states[pos]
-        dr = old_ds.dr
-        tree = compute_tree(dr, node_secure_new, breaks_new)
-        weights = subtree_weights(dr, tree, w)
-        new_ds = DestState(dr=dr, tree=tree, weights=weights)
-        delta += _contribution(new_ds, isp, w, model) - _contribution(old_ds, isp, w, model)
-        recomputed += 1
-
-    # Currently-secure destinations: the flip can reroute traffic there.
     candidates = _candidate_positions(cache, rd, isp, flips, turning_on, model)
-    for pos in candidates:
-        if pos in special_positions:
-            continue
-        if engine is ProjectionEngine.FULL:
-            old_ds = rd.dest_states[pos]
-            dr = old_ds.dr
-            tree = compute_tree(dr, node_secure_new, breaks_new)
-            weights = subtree_weights(dr, tree, w)
-            new_ds = DestState(dr=dr, tree=tree, weights=weights)
-            d = _contribution(new_ds, isp, w, model) - _contribution(old_ds, isp, w, model)
-            recomputed += 1
-        else:
-            d = _incremental_delta(
-                rd.dest_states[pos], node_secure_new, breaks_new, flips, isp, model, w
-            )
+
+    if engine is ProjectionEngine.FULL:
+        full_positions = sorted(special_positions.union(int(p) for p in candidates))
+        incremental_positions: list[int] = []
+    else:
+        full_positions = sorted(special_positions)
+        incremental_positions = [
+            int(p) for p in candidates if int(p) not in special_positions
+        ]
+
+    for pos, new_ds in _recompute_dest_states(
+        cache, rd, full_positions, node_secure_new, breaks_new, w
+    ):
+        old_ds = rd.dest_states[pos]
+        d = _contribution(new_ds, isp, w, model) - _contribution(old_ds, isp, w, model)
+        recomputed += 1
+        if pos not in special_positions and d:
+            touched += 1
+        delta += d
+
+    # Remaining candidates: exact deltas via local propagation.
+    for pos in incremental_positions:
+        d = _incremental_delta(
+            rd.dest_states[pos], node_secure_new, breaks_new, flips, isp, model, w
+        )
         if d:
             touched += 1
         delta += d
@@ -141,6 +145,42 @@ def _contribution(ds: DestState, node: int, node_weights: np.ndarray, model: Uti
     if model is UtilityModel.OUTGOING:
         return outgoing_contribution(ds, node)
     return incoming_contribution(ds, node, node_weights)
+
+
+def _recompute_dest_states(
+    cache: RoutingCache,
+    rd: RoundData,
+    positions: list[int],
+    node_secure_new: np.ndarray,
+    breaks_new: np.ndarray,
+    node_weights: np.ndarray,
+):
+    """Yield ``(pos, DestState)`` for fully recomputed destinations.
+
+    When the cache carries a :class:`~repro.routing.arena.RoutingArena`
+    (the normal case after the first round), all requested destinations
+    are resolved in a single stacked pass of the batched kernel; the
+    per-destination loop below is the fallback for caches warmed without
+    an arena.
+    """
+    if not positions:
+        return
+    arena = cache.arena
+    if arena is not None and len(positions) > 1:
+        slots = np.asarray(positions, dtype=np.int64)
+        bt = compute_trees_batched(arena, slots, node_secure_new, breaks_new)
+        w2d = subtree_weights_batched(arena, slots, bt.choice, node_weights)
+        for i, pos in enumerate(positions):
+            yield pos, DestState(
+                dr=rd.dest_states[pos].dr, tree=bt.tree(i), weights=w2d[i]
+            )
+    else:
+        for pos in positions:
+            dr = rd.dest_states[pos].dr
+            tree = compute_tree(dr, node_secure_new, breaks_new)
+            yield pos, DestState(
+                dr=dr, tree=tree, weights=subtree_weights(dr, tree, node_weights)
+            )
 
 
 def _candidate_positions(
@@ -248,12 +288,11 @@ def _recompute_node(
     usec = bool(node_secure_new[u])
     use_sec = usec and bool(breaks_new[u]) and bool(csec.any())
 
-    keys = tie_hash_array(
-        np.full(len(cands), u, dtype=np.uint64), cands.astype(np.uint64)
-    )
-    keys = (keys & _HASH_MASK) | np.arange(len(cands), dtype=np.uint64)
+    row = int(dr.row_of[u])
+    lo, hi = int(dr.indptr[row]), int(dr.indptr[row + 1])
+    keys = dr.tie_keys()[lo:hi]  # state-independent, precomputed
     if use_sec:
-        keys = np.where(csec, keys, np.uint64(0xFFFFFFFFFFFFFFFF))
+        keys = np.where(csec, keys, _BLOCKED)
     best = int(np.argmin(keys))
     return int(cands[best]), usec and bool(csec[best])
 

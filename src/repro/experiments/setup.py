@@ -103,6 +103,7 @@ def build_environment(
     cache = RoutingCache(graph, destinations=destinations)
     if warm:
         parallel_warm_cache(cache, workers=workers)
+        cache.ensure_arena()  # pool the trees before the first round
     return ExperimentEnv(
         topology=topology, graph=graph, cache=cache, x=x, augmented=augmented
     )

@@ -447,21 +447,174 @@ class _DestRoutingBuilder:
         return dr
 
 
-def parallel_warm_cache(cache, workers: int = 1) -> None:
+class _PartitionArenaBuilder:
+    """Map function over destination *chunks* for the shm warm path.
+
+    The worker builds every :class:`DestRouting` of its chunk, packs
+    them into a partition :class:`~repro.routing.arena.RoutingArena`,
+    publishes the arena as a shared-memory segment, and returns only a
+    pipe-sized :class:`~repro.parallel.shm.ArenaHandle` — no tree is
+    ever pickled through the result pipe.  When the worker cannot get a
+    segment it degrades to ``("pickle", dests, routings)`` and the
+    fallback is counted (``parallel.shm.fallbacks``).
+    """
+
+    def __init__(self, graph, compiled, policy: str = "gao-rexford", transform=None):
+        self.build = _DestRoutingBuilder(graph, compiled, policy, transform)
+
+    def __call__(self, dests: tuple[int, ...]):
+        from repro.parallel.shm import publish_arena
+        from repro.routing.arena import RoutingArena
+
+        routings = [self.build(d) for d in dests]
+        arena = RoutingArena.build(self.build.graph.n, list(dests), routings)
+        published = publish_arena(arena, dests=tuple(dests))
+        if published is None:
+            return ("pickle", tuple(dests), routings)
+        handle, segment = published
+        segment.close()  # keep the name alive; the parent unlinks
+        return ("shm", handle)
+
+
+def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> None:
     """Warm a :class:`~repro.routing.cache.RoutingCache` with workers.
 
     The per-destination :class:`DestRouting` structures are independent,
     so this is a pure map; results are installed into the cache through
     its public :meth:`~repro.routing.cache.RoutingCache.install` API.
+
+    ``transport`` selects how results travel back from workers:
+
+    - ``"shm"``: workers pack each destination partition into a
+      shared-memory arena and send only the segment handle
+      (zero-copy backhaul, no pickled trees);
+    - ``"pickle"``: classic per-destination result pickling;
+    - ``"auto"`` (default): shm whenever a multi-process map will
+      actually run and shared memory is importable.
+
+    Either way a partition whose segment cannot be attached (or whose
+    worker could not create one) falls back to the pickle path — warm
+    never fails because shared memory did.
     """
+    if transport not in ("auto", "shm", "pickle"):
+        raise ValueError(f"transport must be 'auto', 'shm' or 'pickle', got {transport!r}")
     todo = cache.pending_destinations()
     if not todo:
         return
     engine = default_engine(workers)
+    start = time.perf_counter()
+    multi = (
+        isinstance(engine, ProcessEngine)
+        and engine.start_method is not None
+        and len(todo) > 1
+    )
+    if transport != "pickle" and multi:
+        from repro.parallel.shm import shm_available
+
+        if shm_available():
+            _warm_via_shm(cache, engine, todo)
+            cache.note_warm_time(time.perf_counter() - start)
+            return
+        if transport == "shm":
+            from repro.parallel.shm import _note_fallback
+
+            _note_fallback("multiprocessing.shared_memory not importable")
     build = _DestRoutingBuilder(
         cache.graph, cache.compiled, cache.policy, cache.transform
     )
-    start = time.perf_counter()
     for dest, dr in zip(todo, engine.map(build, todo)):
         cache.install(dest, dr)
     cache.note_warm_time(time.perf_counter() - start)
+
+
+def _warm_via_shm(cache, engine: ProcessEngine, todo: list[int]) -> None:
+    """Shared-memory warm backhaul: chunk -> worker arena -> handle."""
+    from repro.parallel.shm import consume_published_arena, ensure_tracker_running
+
+    # must happen before the first fork: workers that lazily start
+    # their own resource tracker get their segments unlinked at exit
+    ensure_tracker_running()
+    chunks = [
+        tuple(c)
+        for c in partition(todo, engine.workers * engine.partitions_per_worker)
+    ]
+    build = _PartitionArenaBuilder(
+        cache.graph, cache.compiled, cache.policy, cache.transform
+    )
+    pickled_partitions = 0
+    for result in engine.map(build, chunks):
+        kind = result[0]
+        if kind == "shm":
+            handle = result[1]
+            arena = consume_published_arena(handle)
+            if arena is None:
+                # segment vanished (publisher crashed mid-handoff):
+                # recompute the partition in-parent from the handle
+                for dest in handle.dests:
+                    cache.dest_routing(dest)
+                continue
+            for k, dest in enumerate(handle.dests):
+                cache.install(int(dest), arena.view(k))
+        else:
+            _, dests, routings = result
+            pickled_partitions += 1
+            for dest, dr in zip(dests, routings):
+                cache.install(int(dest), dr)
+    if pickled_partitions:
+        log.warning(
+            "%d warm partition(s) fell back to pickled trees (no shared memory)",
+            pickled_partitions,
+        )
+
+
+class _FlipProjector:
+    """Map function: ``(isp, turning_on)`` -> Projection.
+
+    Carries the cache, deriver and current round data.  Under the fork
+    start method nothing here is pickled — children see the parent's
+    structures copy-on-write, and only the (index, bool) jobs and the
+    scalar-sized :class:`~repro.core.projection.Projection` results
+    cross the pipes.
+    """
+
+    def __init__(self, cache, deriver, rd, model, projection):
+        self.cache = cache
+        self.deriver = deriver
+        self.rd = rd
+        self.model = model
+        self.projection = projection
+
+    def __call__(self, job: tuple[int, bool]):
+        from repro.core.projection import project_flip
+
+        isp, turning_on = job
+        return project_flip(
+            self.cache, self.deriver, self.rd, int(isp),
+            turning_on=bool(turning_on), model=self.model, engine=self.projection,
+        )
+
+
+def parallel_project_flips(
+    cache, deriver, rd, jobs, model, projection, workers: int = 1
+) -> list:
+    """Project many candidate flips, fanned out over worker processes.
+
+    ``jobs`` is a sequence of ``(isp, turning_on)`` pairs; returns the
+    matching :class:`~repro.core.projection.Projection` list.  Requires
+    the ``fork`` start method (routing state is shared copy-on-write;
+    pickling a whole round's trees to spawned workers would cost more
+    than it saves) — anything else degrades to a serial loop with a
+    one-line warning.
+    """
+    projector = _FlipProjector(cache, deriver, rd, model, projection)
+    if workers <= 1 or len(jobs) <= 1:
+        return [projector(job) for job in jobs]
+    if choose_start_method() != "fork":
+        log.warning(
+            "parallel projection needs the fork start method; running %d "
+            "projections serially", len(jobs),
+        )
+        return [projector(job) for job in jobs]
+    cache.ensure_arena()  # share the pooled arena pages, not dict shards
+    engine = ProcessEngine(workers=workers, start_method="fork")
+    return engine.map(projector, list(jobs))

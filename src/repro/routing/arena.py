@@ -1,0 +1,469 @@
+"""Pooled structure-of-arrays routing arena + batched tree kernel.
+
+The per-destination :class:`~repro.routing.tree.DestRouting` objects are
+individually compact, but a warm cache holds thousands of them: a dict
+of Python objects, each owning half a dozen small numpy arrays.  That
+layout costs allocator overhead, defeats zero-copy transport between
+processes, and forces every routing-state sweep to run a Python loop of
+``n_dests x n_levels`` kernel launches.
+
+:class:`RoutingArena` packs *all* destinations into a handful of
+contiguous pools with a per-destination offset table:
+
+- ``order_pool`` / ``level_pool`` / ``indptr_pool`` / ``cands_pool``:
+  the CSR structures of every destination, concatenated, with
+  ``*_ptr`` offset tables (``order_ptr[k]:order_ptr[k+1]`` is slot
+  ``k``'s slice);
+- ``keys_pool``: the state-independent tie-break keys (hash high bits |
+  row-position low bits) for every tiebreak candidate.  These do not
+  depend on the deployment state, so the arena computes them exactly
+  once per destination instead of on every ``compute_tree`` call;
+- ``cls`` / ``lengths`` / ``row_of``: dense ``[num_dests, n]`` matrices
+  (``cls`` doubles as the projection engine's class matrix).
+
+``view(k)`` reconstitutes a zero-copy :class:`DestRouting` over the
+pools, so all existing per-destination code keeps working unchanged.
+
+On top of the pools, :func:`compute_trees_batched` resolves *many*
+destinations in one level-synchronous pass: same-path-length segments
+are stacked across destinations (the arena precomputes this level-major
+layout), so the Python-level loop runs over the handful of **global**
+levels instead of ``n_dests x n_levels``.  Candidates always sit one
+level below their row's node, so interleaving destinations within a
+level is safe — each destination still sees its own already-resolved
+previous level.
+
+Because every pool is a flat typed buffer, the arena also serialises to
+a single byte blob (:meth:`RoutingArena.to_blocks` /
+:meth:`RoutingArena.from_buffer`), which is what the shared-memory data
+plane in :mod:`repro.parallel.shm` ships between processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.routing.compiled import gather_neighbors
+from repro.routing.fast_tree import _BLOCKED, _POS_MASK, RoutingTree
+from repro.routing.tree import DestRouting, compute_tie_keys
+from repro.telemetry.metrics import get_registry
+
+#: (field name, dtype) of every pooled array, in serialisation order.
+#: ``*_ptr`` tables have length ``num_dests + 1``; matrices are
+#: ``[num_dests, n]``; pools are flat.
+ARENA_FIELDS: tuple[tuple[str, str], ...] = (
+    ("dest_ids", "int32"),
+    ("cls", "int8"),
+    ("lengths", "int32"),
+    ("row_of", "int32"),
+    ("order_ptr", "int64"),
+    ("order_pool", "int32"),
+    ("level_ptr", "int64"),
+    ("level_pool", "int32"),
+    ("indptr_ptr", "int64"),
+    ("indptr_pool", "int64"),
+    ("cand_ptr", "int64"),
+    ("cands_pool", "int32"),
+    ("keys_pool", "uint64"),
+)
+
+
+def _concat_with_ptr(arrays: list[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``arrays`` into one pool plus an int64 offset table."""
+    ptr = np.zeros(len(arrays) + 1, dtype=np.int64)
+    if arrays:
+        np.cumsum([len(a) for a in arrays], out=ptr[1:])
+        pool = np.concatenate(arrays).astype(dtype, copy=False)
+    else:
+        pool = np.empty(0, dtype=dtype)
+    return pool, ptr
+
+
+@dataclasses.dataclass
+class _LevelSlice:
+    """Level-major stacked layout for one global path-length level.
+
+    ``node_ptr`` / ``edge_ptr`` are per-destination-slot segment tables
+    (length ``num_dests + 1``) into the stacked arrays, so a *subset*
+    of destinations extracts its stack with one vectorised gather.
+    """
+
+    node_ptr: np.ndarray   # int64[num_dests + 1]
+    nodes: np.ndarray      # int32; global node ids, stacked by slot
+    sizes: np.ndarray      # int64; tiebreak-set size per stacked node
+    edge_ptr: np.ndarray   # int64[num_dests + 1]
+    cands: np.ndarray      # int32; stacked candidate node ids
+    keys: np.ndarray       # uint64; stacked tie-break keys
+    # full-set fast path (slots == arange(num_dests)):
+    node_slot: np.ndarray  # int32; destination slot per stacked node
+    starts: np.ndarray     # int64; reduceat starts per stacked node
+    row_of_edge: np.ndarray  # int64; stacked-node row per stacked edge
+
+
+@dataclasses.dataclass
+class BatchedTrees:
+    """Resolved routing trees for a batch of destination slots.
+
+    Row ``i`` of each matrix is the tree for ``slots[i]``; rows are
+    zero-copy views, so :meth:`tree` materialises a per-destination
+    :class:`RoutingTree` without allocation.
+    """
+
+    dest_ids: np.ndarray      # int32[B]; dense destination node per row
+    slots: np.ndarray         # int64[B]; arena slot per row
+    choice: np.ndarray        # int32[B, n]
+    secure: np.ndarray        # bool[B, n]
+    any_secure: np.ndarray    # bool[B, n]
+
+    def tree(self, i: int) -> RoutingTree:
+        """The :class:`RoutingTree` of batch row ``i`` (views, no copy)."""
+        return RoutingTree(
+            dest=int(self.dest_ids[i]),
+            choice=self.choice[i],
+            secure=self.secure[i],
+            any_secure_candidate=self.any_secure[i],
+        )
+
+
+class RoutingArena:
+    """Pooled, contiguous routing structures for a destination set."""
+
+    def __init__(self, graph_n: int, arrays: dict[str, np.ndarray]):
+        self.graph_n = graph_n
+        for name, dtype in ARENA_FIELDS:
+            arr = arrays[name]
+            if str(arr.dtype) != dtype:
+                raise ValueError(f"arena field {name}: expected {dtype}, got {arr.dtype}")
+            setattr(self, name, arr)
+        self._levels: list[_LevelSlice] | None = None
+        self._full_slots = np.arange(self.num_dests, dtype=np.int64)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, graph_n: int, dest_ids: list[int], routings: list[DestRouting]
+    ) -> "RoutingArena":
+        """Pack per-destination :class:`DestRouting` structures.
+
+        ``routings[k]`` must be the structure for ``dest_ids[k]``; the
+        slot order of the arena is the order given here.
+        """
+        if len(dest_ids) != len(routings):
+            raise ValueError("dest_ids and routings must align")
+        num = len(routings)
+        order_pool, order_ptr = _concat_with_ptr([r.order for r in routings], np.int32)
+        level_pool, level_ptr = _concat_with_ptr(
+            [r.level_starts for r in routings], np.int32
+        )
+        indptr_pool, indptr_ptr = _concat_with_ptr(
+            [r.indptr for r in routings], np.int64
+        )
+        cands_pool, cand_ptr = _concat_with_ptr([r.cands for r in routings], np.int32)
+
+        cls_mat = np.empty((num, graph_n), dtype=np.int8)
+        lengths = np.empty((num, graph_n), dtype=np.int32)
+        row_of = np.empty((num, graph_n), dtype=np.int32)
+        for k, r in enumerate(routings):
+            cls_mat[k] = r.cls
+            lengths[k] = r.lengths
+            row_of[k] = r.row_of
+
+        # Tie-break keys for the whole pool, computed exactly once per
+        # destination (state-independent: Observation C.1 extends to TB).
+        keys_pool = np.empty(len(cands_pool), dtype=np.uint64)
+        for k in range(num):
+            lo, hi = int(cand_ptr[k]), int(cand_ptr[k + 1])
+            r = routings[k]
+            cached = r._tie_keys
+            keys_pool[lo:hi] = (
+                cached if cached is not None
+                else compute_tie_keys(r.order, r.indptr, r.cands)
+            )
+
+        arena = cls(
+            graph_n,
+            {
+                "dest_ids": np.asarray(dest_ids, dtype=np.int32),
+                "cls": cls_mat,
+                "lengths": lengths,
+                "row_of": row_of,
+                "order_ptr": order_ptr,
+                "order_pool": order_pool,
+                "level_ptr": level_ptr,
+                "level_pool": level_pool,
+                "indptr_ptr": indptr_ptr,
+                "indptr_pool": indptr_pool,
+                "cand_ptr": cand_ptr,
+                "cands_pool": cands_pool,
+                "keys_pool": keys_pool,
+            },
+        )
+        registry = get_registry()
+        registry.counter("routing.arena.builds").inc()
+        registry.gauge("routing.arena.bytes").set(arena.nbytes)
+        return arena
+
+    # -- basic accessors -----------------------------------------------
+
+    @property
+    def num_dests(self) -> int:
+        return len(self.dest_ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the pooled arrays (telemetry: arena bytes)."""
+        return sum(getattr(self, name).nbytes for name, _ in ARENA_FIELDS)
+
+    def view(self, slot: int) -> DestRouting:
+        """Zero-copy :class:`DestRouting` for destination slot ``slot``."""
+        o_lo, o_hi = int(self.order_ptr[slot]), int(self.order_ptr[slot + 1])
+        l_lo, l_hi = int(self.level_ptr[slot]), int(self.level_ptr[slot + 1])
+        i_lo, i_hi = int(self.indptr_ptr[slot]), int(self.indptr_ptr[slot + 1])
+        c_lo, c_hi = int(self.cand_ptr[slot]), int(self.cand_ptr[slot + 1])
+        return DestRouting(
+            dest=int(self.dest_ids[slot]),
+            cls=self.cls[slot],
+            lengths=self.lengths[slot],
+            order=self.order_pool[o_lo:o_hi],
+            row_of=self.row_of[slot],
+            level_starts=self.level_pool[l_lo:l_hi],
+            indptr=self.indptr_pool[i_lo:i_hi],
+            cands=self.cands_pool[c_lo:c_hi],
+            _tie_keys=self.keys_pool[c_lo:c_hi],
+        )
+
+    def views(self) -> list[DestRouting]:
+        """Zero-copy views for every destination slot, in slot order."""
+        return [self.view(k) for k in range(self.num_dests)]
+
+    # -- serialisation (the shared-memory data plane) ------------------
+
+    def to_blocks(self) -> tuple[int, list[tuple[str, str, tuple[int, ...], int]]]:
+        """Layout for packing into one flat buffer.
+
+        Returns ``(total_bytes, [(name, dtype, shape, offset), ...])``
+        with every offset 16-byte aligned.
+        """
+        layout: list[tuple[str, str, tuple[int, ...], int]] = []
+        offset = 0
+        for name, dtype in ARENA_FIELDS:
+            arr = getattr(self, name)
+            offset = (offset + 15) & ~15
+            layout.append((name, dtype, arr.shape, offset))
+            offset += arr.nbytes
+        return offset, layout
+
+    def pack_into(self, buf) -> list[tuple[str, str, tuple[int, ...], int]]:
+        """Copy every pool into ``buf`` (a writable buffer); returns layout."""
+        total, layout = self.to_blocks()
+        if len(buf) < total:
+            raise ValueError(f"buffer too small: {len(buf)} < {total}")
+        for name, dtype, shape, offset in layout:
+            dest = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+            dest[...] = getattr(self, name)
+        return layout
+
+    @classmethod
+    def from_buffer(
+        cls,
+        graph_n: int,
+        buf,
+        layout: list[tuple[str, str, tuple[int, ...], int]],
+        copy: bool = False,
+    ) -> "RoutingArena":
+        """Rebuild an arena over ``buf`` (zero-copy views unless ``copy``)."""
+        arrays: dict[str, np.ndarray] = {}
+        for name, dtype, shape, offset in layout:
+            arr = np.ndarray(tuple(shape), dtype=dtype, buffer=buf, offset=offset)
+            arrays[name] = arr.copy() if copy else arr
+        return cls(graph_n, arrays)
+
+    # -- the batched kernel --------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Global level count (max path length over all destinations + 1)."""
+        return len(self._level_major())
+
+    def _level_major(self) -> list[_LevelSlice]:
+        """Build (once) the level-major stacked layout over all slots."""
+        if self._levels is not None:
+            return self._levels
+        num = self.num_dests
+        max_levels = 0
+        for k in range(num):
+            max_levels = max(max_levels, int(self.level_ptr[k + 1] - self.level_ptr[k]) - 1)
+        levels: list[_LevelSlice] = []
+        for level in range(1, max_levels):
+            node_chunks: list[np.ndarray] = []
+            size_chunks: list[np.ndarray] = []
+            cand_chunks: list[np.ndarray] = []
+            key_chunks: list[np.ndarray] = []
+            node_ptr = np.zeros(num + 1, dtype=np.int64)
+            edge_ptr = np.zeros(num + 1, dtype=np.int64)
+            for k in range(num):
+                l_lo, l_hi = int(self.level_ptr[k]), int(self.level_ptr[k + 1])
+                n_levels = l_hi - l_lo - 1
+                if level >= n_levels:
+                    node_ptr[k + 1] = node_ptr[k]
+                    edge_ptr[k + 1] = edge_ptr[k]
+                    continue
+                lo = int(self.level_pool[l_lo + level])
+                hi = int(self.level_pool[l_lo + level + 1])
+                o_lo = int(self.order_ptr[k])
+                i_lo = int(self.indptr_ptr[k])
+                c_lo = int(self.cand_ptr[k])
+                indptr = self.indptr_pool[i_lo + lo:i_lo + hi + 1]
+                seg_lo, seg_hi = int(indptr[0]), int(indptr[-1])
+                node_chunks.append(self.order_pool[o_lo + lo:o_lo + hi])
+                size_chunks.append(np.diff(indptr))
+                cand_chunks.append(self.cands_pool[c_lo + seg_lo:c_lo + seg_hi])
+                key_chunks.append(self.keys_pool[c_lo + seg_lo:c_lo + seg_hi])
+                node_ptr[k + 1] = node_ptr[k] + (hi - lo)
+                edge_ptr[k + 1] = edge_ptr[k] + (seg_hi - seg_lo)
+            nodes, _ = _concat_with_ptr(node_chunks, np.int32)
+            sizes, _ = _concat_with_ptr(size_chunks, np.int64)
+            cands, _ = _concat_with_ptr(cand_chunks, np.int32)
+            keys, _ = _concat_with_ptr(key_chunks, np.uint64)
+            counts = np.diff(node_ptr)
+            node_slot = np.repeat(
+                np.arange(num, dtype=np.int32), counts
+            )
+            starts = np.zeros(len(nodes), dtype=np.int64)
+            if len(nodes):
+                np.cumsum(sizes[:-1], out=starts[1:])
+            row_of_edge = np.repeat(np.arange(len(nodes), dtype=np.int64), sizes)
+            levels.append(
+                _LevelSlice(
+                    node_ptr=node_ptr,
+                    nodes=nodes,
+                    sizes=sizes,
+                    edge_ptr=edge_ptr,
+                    cands=cands,
+                    keys=keys,
+                    node_slot=node_slot,
+                    starts=starts,
+                    row_of_edge=row_of_edge,
+                )
+            )
+        self._levels = levels
+        return levels
+
+    def all_slots(self) -> np.ndarray:
+        """``arange(num_dests)`` — the full-batch slot vector."""
+        return self._full_slots
+
+
+def compute_trees_batched(
+    arena: RoutingArena,
+    slots: np.ndarray,
+    node_secure: np.ndarray,
+    breaks_ties: np.ndarray,
+) -> BatchedTrees:
+    """Resolve the routing trees of many destinations in one pass.
+
+    Bit-identical to calling
+    :func:`~repro.routing.fast_tree.compute_tree` per destination
+    (asserted by the differential suite in
+    ``tests/routing/test_arena.py``), but the Python-level loop runs
+    over *global* path-length levels: within each level the segments of
+    every batched destination are stacked and resolved by one set of
+    numpy segment operations.
+    """
+    slots = np.asarray(slots, dtype=np.int64)
+    B = len(slots)
+    n = arena.graph_n
+    choice = np.full((B, n), -1, dtype=np.int32)
+    secure = np.zeros((B, n), dtype=bool)
+    any_secure = np.zeros((B, n), dtype=bool)
+    dest_ids = arena.dest_ids[slots]
+    secure[np.arange(B), dest_ids] = node_secure[dest_ids]
+
+    full = B == arena.num_dests and np.array_equal(slots, arena.all_slots())
+    levels = arena._level_major()
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("routing.batched.calls").inc()
+        registry.counter("routing.batched.trees").inc(B)
+        registry.counter("routing.batched.levels").inc(len(levels))
+
+    for lvl in levels:
+        if full:
+            nodes, sizes = lvl.nodes, lvl.sizes
+            cands, keys = lvl.cands, lvl.keys
+            node_b = lvl.node_slot
+            starts, row_of_edge = lvl.starts, lvl.row_of_edge
+        else:
+            nodes = gather_neighbors(lvl.node_ptr, lvl.nodes, slots)
+            if not len(nodes):
+                continue
+            sizes = gather_neighbors(lvl.node_ptr, lvl.sizes, slots)
+            cands = gather_neighbors(lvl.edge_ptr, lvl.cands, slots)
+            keys = gather_neighbors(lvl.edge_ptr, lvl.keys, slots)
+            counts = lvl.node_ptr[slots + 1] - lvl.node_ptr[slots]
+            node_b = np.repeat(np.arange(B, dtype=np.int64), counts)
+            starts = np.zeros(len(nodes), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            row_of_edge = np.repeat(np.arange(len(nodes), dtype=np.int64), sizes)
+        if not len(nodes):
+            continue
+
+        edge_b = node_b[row_of_edge]
+        csec = secure[edge_b, cands]
+        any_sec = np.logical_or.reduceat(csec, starts)
+        any_secure[node_b, nodes] = any_sec
+        use_sec = node_secure[nodes] & breaks_ties[nodes] & any_sec
+
+        key = np.where(csec | ~use_sec[row_of_edge], keys, _BLOCKED)
+        kmin = np.minimum.reduceat(key, starts)
+        chosen = starts + (kmin & _POS_MASK).astype(np.int64)
+        choice[node_b, nodes] = cands[chosen]
+        secure[node_b, nodes] = node_secure[nodes] & csec[chosen]
+
+    return BatchedTrees(
+        dest_ids=dest_ids,
+        slots=slots,
+        choice=choice,
+        secure=secure,
+        any_secure=any_secure,
+    )
+
+
+def subtree_weights_batched(
+    arena: RoutingArena,
+    slots: np.ndarray,
+    choice: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`~repro.routing.fast_tree.subtree_weights`.
+
+    ``choice`` is the ``[B, n]`` matrix from
+    :func:`compute_trees_batched`; returns the matching ``[B, n]``
+    float64 subtree-weight matrix (row ``i`` excludes node weights of
+    the nodes themselves, exactly like the per-destination kernel).
+    """
+    slots = np.asarray(slots, dtype=np.int64)
+    B = len(slots)
+    n = arena.graph_n
+    w = np.zeros((B, n), dtype=np.float64)
+    full = B == arena.num_dests and np.array_equal(slots, arena.all_slots())
+    for lvl in reversed(arena._level_major()):
+        if full:
+            nodes, node_b = lvl.nodes, lvl.node_slot.astype(np.int64)
+        else:
+            nodes = gather_neighbors(lvl.node_ptr, lvl.nodes, slots)
+            if not len(nodes):
+                continue
+            counts = lvl.node_ptr[slots + 1] - lvl.node_ptr[slots]
+            node_b = np.repeat(np.arange(B, dtype=np.int64), counts)
+        if not len(nodes):
+            continue
+        parents = choice[node_b, nodes].astype(np.int64)
+        vals = w[node_b, nodes] + weights[nodes]
+        w += np.bincount(
+            node_b * n + parents, weights=vals, minlength=B * n
+        ).reshape(B, n)
+    return w

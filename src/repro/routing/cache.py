@@ -16,6 +16,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.routing.arena import RoutingArena
 from repro.routing.compiled import CompiledGraph
 from repro.routing.tree import DestRouting, compute_dest_routing
 from repro.telemetry.metrics import get_registry
@@ -103,6 +104,7 @@ class RoutingCache:
         self.destinations = list(range(graph.n)) if destinations is None else list(destinations)
         self._dest_pos = {d: k for k, d in enumerate(self.destinations)}
         self._routing: dict[int, DestRouting] = {}
+        self._arena: RoutingArena | None = None
         self._cls_matrix: np.ndarray | None = None
         self._hits = 0
         self._misses = 0
@@ -141,6 +143,52 @@ class RoutingCache:
         """Precompute every destination in ``destinations``."""
         for dest in self.destinations:
             self.dest_routing(dest)
+
+    @property
+    def arena(self) -> RoutingArena | None:
+        """The pooled routing arena, if one has been built (else None)."""
+        return self._arena
+
+    def ensure_arena(self) -> RoutingArena:
+        """Warm everything and pack it into a :class:`RoutingArena`.
+
+        The cached per-destination :class:`DestRouting` objects are
+        replaced by zero-copy views into the arena pools, so subsequent
+        :meth:`dest_routing` lookups hand out pool-backed structures
+        (with their tie-break keys precomputed) and the original
+        fragmented arrays are released.  Idempotent after the first
+        call; a shared arena installed via :meth:`install_arena` is
+        reused as-is.
+        """
+        if self._arena is None:
+            self.warm()
+            arena = RoutingArena.build(
+                self.graph.n,
+                self.destinations,
+                [self._routing[d] for d in self.destinations],
+            )
+            self._adopt_arena(arena)
+        return self._arena
+
+    def install_arena(self, arena: RoutingArena) -> None:
+        """Adopt a pre-built arena (e.g. attached from shared memory).
+
+        The arena's slot order must match this cache's ``destinations``;
+        every destination is then considered cached (counted as
+        installs, like trees shipped in from parallel warm workers).
+        """
+        if list(arena.dest_ids) != list(self.destinations):
+            raise ValueError("arena destinations do not match this cache")
+        self._installs += arena.num_dests
+        self._adopt_arena(arena)
+
+    def _adopt_arena(self, arena: RoutingArena) -> None:
+        self._arena = arena
+        for k, dest in enumerate(self.destinations):
+            self._routing[dest] = arena.view(k)
+        self._cls_matrix = arena.cls
+        registry = get_registry()
+        registry.gauge("routing.arena.bytes").set(arena.nbytes)
 
     def install(self, dest: int, routing: DestRouting) -> None:
         """Install a :class:`DestRouting` computed elsewhere.

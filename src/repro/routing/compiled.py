@@ -9,6 +9,7 @@ operations over edge arrays instead of Python loops.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 
 import numpy as np
 
@@ -19,9 +20,10 @@ def _csr(adjacency: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
     counts = np.fromiter((len(a) for a in adjacency), dtype=np.int64, count=len(adjacency))
     indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    idx = np.empty(int(indptr[-1]), dtype=np.int32)
-    for i, a in enumerate(adjacency):
-        idx[indptr[i]:indptr[i + 1]] = a
+    total = int(indptr[-1])
+    idx = np.fromiter(
+        itertools.chain.from_iterable(adjacency), dtype=np.int32, count=total
+    )
     return indptr, idx
 
 

@@ -42,7 +42,7 @@ class RoutingTree:
     #: bool[n]; True iff some tiebreak candidate offers a secure path.
     #: This is the signal the projection engine uses to filter
     #: destinations a flip could possibly affect (Appendix C.4).
-    any_secure_candidate: np.ndarray = dataclasses.field(default=None)  # type: ignore[assignment]
+    any_secure_candidate: np.ndarray
 
     def path_from(self, source: int, max_hops: int = 64) -> list[int]:
         """Node-index path ``source -> ... -> dest`` (empty if unreachable)."""
@@ -83,6 +83,7 @@ def compute_tree(
     any_secure = np.zeros(n, dtype=bool)
     order, indptr, cands = dr.order, dr.indptr, dr.cands
     levels = dr.level_starts
+    tie_keys = dr.tie_keys()  # state-independent, computed once per dest
 
     secure[dr.dest] = node_secure[dr.dest]
 
@@ -102,14 +103,9 @@ def compute_tree(
 
         sizes = (indptr[lo + 1:hi + 1] - indptr[lo:hi]).astype(np.int64)
         row_of_edge = np.repeat(np.arange(hi - lo, dtype=np.int64), sizes)
-        pos = np.arange(len(c), dtype=np.uint64) - starts[row_of_edge].astype(np.uint64)
 
-        hkey = tie_hash_array(
-            np.repeat(nodes.astype(np.uint64), sizes), c.astype(np.uint64)
-        )
-        hkey = (hkey & _HASH_MASK) | pos
         allowed = csec | ~use_sec[row_of_edge]
-        key = np.where(allowed, hkey, _BLOCKED)
+        key = np.where(allowed, tie_keys[seg_lo:seg_hi], _BLOCKED)
 
         kmin = np.minimum.reduceat(key, starts)
         chosen_rel = starts + (kmin & _POS_MASK).astype(np.int64)
@@ -177,5 +173,7 @@ def subtree_weights(dr: DestRouting, tree: RoutingTree, weights: np.ndarray) -> 
             continue
         nodes = order[lo:hi]
         parents = tree.choice[nodes]
-        np.add.at(w, parents, w[nodes] + weights[nodes])
+        # bincount beats np.add.at by ~an order of magnitude for this
+        # scattered accumulation (parents repeat heavily within a level)
+        w += np.bincount(parents, weights=w[nodes] + weights[nodes], minlength=n)
     return w

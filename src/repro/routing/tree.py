@@ -26,10 +26,11 @@ from collections import deque
 import numpy as np
 
 from repro.routing.compiled import CompiledGraph, gather_neighbors
-from repro.routing.policy import RouteClass
+from repro.routing.policy import POSITION_BITS, RouteClass, tie_hash_array
 from repro.topology.graph import ASGraph
 
 _UNSET = -1
+_HASH_MASK = ~np.uint64((1 << POSITION_BITS) - 1)
 
 _SELF = int(RouteClass.SELF)
 _CUSTOMER = int(RouteClass.CUSTOMER)
@@ -212,6 +213,14 @@ class DestRouting:
     _rev: tuple[np.ndarray, np.ndarray] | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    #: uint64[nnz] state-independent tie-break keys, aligned with
+    #: ``cands``: hash high bits | within-row position low bits.  The
+    #: keys do not depend on the deployment state, so they are computed
+    #: once (lazily here, eagerly by the routing arena) instead of on
+    #: every ``compute_tree`` call.
+    _tie_keys: np.ndarray | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_reachable(self) -> int:
@@ -251,6 +260,33 @@ class DestRouting:
         rev_indptr, rev_nodes = self.reverse_tiebreak()
         return rev_nodes[rev_indptr[node]:rev_indptr[node + 1]]
 
+    def tie_keys(self) -> np.ndarray:
+        """State-independent tie-break keys per CSR entry (see field doc)."""
+        if self._tie_keys is None:
+            self._tie_keys = compute_tie_keys(self.order, self.indptr, self.cands)
+        return self._tie_keys
+
+
+def compute_tie_keys(
+    order: np.ndarray, indptr: np.ndarray, cands: np.ndarray
+) -> np.ndarray:
+    """Tie-break key per tiebreak-CSR entry: hash high bits | position.
+
+    The ``minimum.reduceat`` in the tree kernels extracts both the
+    winning candidate's hash rank and its row position from one uint64,
+    so the low :data:`~repro.routing.policy.POSITION_BITS` bits carry
+    the candidate's index within its row (also disambiguating hash
+    collisions deterministically).
+    """
+    sizes = np.diff(indptr)
+    srcs = np.repeat(order.astype(np.uint64), sizes)
+    row_starts = indptr[:-1]
+    rel = np.arange(len(cands), dtype=np.uint64) - np.repeat(
+        row_starts, sizes
+    ).astype(np.uint64)
+    keys = tie_hash_array(srcs, cands.astype(np.uint64))
+    return (keys & _HASH_MASK) | rel
+
 
 def compute_dest_routing(
     graph: ASGraph, dest: int, compiled: CompiledGraph | None = None
@@ -263,7 +299,9 @@ def compute_dest_routing(
 
     reachable_mask = lengths != _UNSET
     order = np.flatnonzero(reachable_mask).astype(np.int32)
-    sort = np.lexsort((order, lengths[order]))
+    # order is already ascending, so a stable single-key sort on length
+    # gives the same (length, index) ordering as the previous lexsort
+    sort = np.argsort(lengths[order], kind="stable")
     order = order[sort]
     row_of = np.full(n, -1, dtype=np.int32)
     row_of[order] = np.arange(len(order), dtype=np.int32)
@@ -298,7 +336,9 @@ def compute_dest_routing(
     srcs = np.concatenate([c_src[c_mask], p_src[p_mask], v_src[v_mask]])
     dsts = np.concatenate([c_dst[c_mask], p_dst[p_mask], v_dst[v_mask]])
     rows = row_of[srcs]
-    sort = np.lexsort((dsts, rows))
+    # one fused int64 key replaces the two-key lexsort: rows and dsts
+    # are both < n, so (row, dst) order == row * n + dst order
+    sort = np.argsort(rows.astype(np.int64) * n + dsts, kind="stable")
     rows, cands = rows[sort], dsts[sort].astype(np.int32)
 
     counts = np.bincount(rows, minlength=len(order))

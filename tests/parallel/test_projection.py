@@ -1,0 +1,66 @@
+"""Parallel flip projection must be decision-identical to serial."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.dynamics import DeploymentSimulation
+from repro.core.engine import compute_round_data
+from repro.parallel.engine import parallel_project_flips
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel projection shares round state copy-on-write via fork",
+)
+
+
+@needs_fork
+class TestParallelProjection:
+    def test_simulation_agrees_with_serial(self, medium_env):
+        adopters = medium_env.case_study_adopters()
+        results = []
+        for workers in (1, 2):
+            config = SimulationConfig(theta=0.02, max_rounds=6, workers=workers)
+            sim = DeploymentSimulation(
+                medium_env.graph, adopters, config, medium_env.cache
+            )
+            results.append(sim.run())
+        serial, parallel = results
+        assert serial.outcome == parallel.outcome
+        assert [r.turned_on for r in serial.rounds] == [
+            r.turned_on for r in parallel.rounds
+        ]
+        assert [r.turned_off for r in serial.rounds] == [
+            r.turned_off for r in parallel.rounds
+        ]
+        np.testing.assert_array_equal(
+            serial.final_utilities, parallel.final_utilities
+        )
+
+    def test_projection_values_identical(self, medium_env):
+        cache, graph = medium_env.cache, medium_env.graph
+        from repro.core.config import UtilityModel, ProjectionEngine
+        from repro.core.state import DeploymentState, StateDeriver
+
+        deriver = StateDeriver(graph, compiled=cache.compiled)
+        state = DeploymentState.initial(
+            frozenset(graph.index(a) for a in medium_env.case_study_adopters())
+        )
+        rd = compute_round_data(cache, deriver, state, UtilityModel.OUTGOING)
+        jobs = [(int(i), True) for i in graph.isp_indices[:12]]
+        serial = parallel_project_flips(
+            cache, deriver, rd, jobs,
+            model=UtilityModel.OUTGOING, projection=ProjectionEngine.INCREMENTAL,
+            workers=1,
+        )
+        fanned = parallel_project_flips(
+            cache, deriver, rd, jobs,
+            model=UtilityModel.OUTGOING, projection=ProjectionEngine.INCREMENTAL,
+            workers=2,
+        )
+        assert [p.utility for p in serial] == [p.utility for p in fanned]
+        assert [p.flips for p in serial] == [p.flips for p in fanned]

@@ -1,0 +1,173 @@
+"""Shared-memory data plane: publish/attach semantics and the warm path.
+
+The load-bearing guarantee: with the shm transport, a parallel warm
+ships **no pickled** :class:`~repro.routing.tree.DestRouting` over the
+result pipes — only pipe-sized segment handles — and degrades to the
+pickle path (warning + counter) when shared memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import shm
+from repro.parallel.engine import parallel_warm_cache
+from repro.routing.arena import RoutingArena, compute_trees_batched
+from repro.routing.cache import RoutingCache
+from repro.routing.tree import DestRouting, compute_dest_routing
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shm warm backhaul exercised with the fork start method",
+)
+
+
+@pytest.fixture
+def registry():
+    with use_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+def _arena_for(graph, dests):
+    return RoutingArena.build(
+        graph.n, list(dests), [compute_dest_routing(graph, d) for d in dests]
+    )
+
+
+class TestPublishAttach:
+    def test_attach_once_refcounted(self, small_graph):
+        published = shm.publish_arena(_arena_for(small_graph, [0, 3, 9]))
+        assert published is not None
+        handle, segment = published
+        try:
+            a1 = shm.attach_arena(handle)
+            a2 = shm.attach_arena(handle)
+            assert a1 is a2  # one mapping per process
+            assert shm.attachment_refs(handle.name) == 2
+            np.testing.assert_array_equal(a1.dest_ids, [0, 3, 9])
+            shm.release_arena(handle.name)
+            assert shm.attachment_refs(handle.name) == 1
+            del a1, a2  # drop the views so the mapping can close
+            shm.release_arena(handle.name)
+            assert shm.attachment_refs(handle.name) == 0
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_views_are_zero_copy(self, small_graph):
+        arena = _arena_for(small_graph, [1, 5])
+        published = shm.publish_arena(arena)
+        assert published is not None
+        handle, segment = published
+        try:
+            attached = shm.attach_arena(handle)
+            assert np.shares_memory(
+                attached.view(0).cands, attached.cands_pool
+            )
+            np.testing.assert_array_equal(attached.keys_pool, arena.keys_pool)
+            del attached
+            shm.release_arena(handle.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_consume_copies_and_unlinks(self, small_graph):
+        arena = _arena_for(small_graph, [2, 4, 6])
+        published = shm.publish_arena(arena, dests=(2, 4, 6))
+        assert published is not None
+        handle, segment = published
+        segment.close()  # publisher side done; consumer owns the rest
+        copy = shm.consume_published_arena(handle)
+        assert copy is not None
+        np.testing.assert_array_equal(copy.cands_pool, arena.cands_pool)
+        assert copy.cands_pool.base is None or not isinstance(
+            copy.cands_pool.base, memoryview
+        )  # heap copy, not a view of the (now unlinked) segment
+        # the segment is gone: a second consume reports it cleanly
+        assert shm.consume_published_arena(handle) is None
+
+    def test_trees_from_attached_arena_match(self, small_graph, small_cache):
+        arena = small_cache.ensure_arena()
+        published = shm.publish_arena(arena)
+        assert published is not None
+        handle, segment = published
+        try:
+            attached = shm.attach_arena(handle)
+            rng = np.random.default_rng(11)
+            secure = rng.random(small_graph.n) < 0.4
+            a = compute_trees_batched(arena, arena.all_slots(), secure, secure)
+            b = compute_trees_batched(attached, attached.all_slots(), secure, secure)
+            np.testing.assert_array_equal(a.choice, b.choice)
+            np.testing.assert_array_equal(a.secure, b.secure)
+            del attached, b
+            shm.release_arena(handle.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+def _poison_reduce(self, *args, **kwargs):
+    raise AssertionError("DestRouting crossed a process pipe")
+
+
+@needs_fork
+class TestWarmTransport:
+    def test_shm_warm_pickles_no_trees(self, small_graph, registry, monkeypatch):
+        monkeypatch.setattr(DestRouting, "__reduce__", _poison_reduce)
+        with pytest.raises(AssertionError):
+            pickle.dumps(compute_dest_routing(small_graph, 0))  # poison armed
+        cache = RoutingCache(small_graph, destinations=list(range(12)))
+        parallel_warm_cache(cache, workers=2, transport="shm")
+        assert cache.stats().installs == 12
+        assert cache.stats().cached_fraction == 1.0
+        snap = registry.snapshot()
+        # a genuinely parallel map, with no worker failures quietly
+        # degraded to in-parent serial execution (which would mask a
+        # pickled tree)
+        assert snap["counters"]["engine.dispatched"] >= 1
+        assert snap["counters"].get("engine.worker_errors", 0) == 0
+        assert snap["counters"].get("engine.serial_fallback_items", 0) == 0
+        assert snap["counters"]["parallel.shm.attaches"] >= 1
+        assert snap["counters"].get("parallel.shm.fallbacks", 0) == 0
+
+    def test_shm_warm_matches_serial_warm(self, small_graph):
+        shm_cache = RoutingCache(small_graph, destinations=list(range(10)))
+        parallel_warm_cache(shm_cache, workers=2, transport="shm")
+        serial_cache = RoutingCache(small_graph, destinations=list(range(10)))
+        serial_cache.warm()
+        for dest in range(10):
+            a, b = shm_cache.dest_routing(dest), serial_cache.dest_routing(dest)
+            np.testing.assert_array_equal(a.order, b.order)
+            np.testing.assert_array_equal(a.cands, b.cands)
+            np.testing.assert_array_equal(a.cls, b.cls)
+
+    def test_fallback_when_shared_memory_unusable(
+        self, small_graph, registry, monkeypatch, caplog
+    ):
+        class _Broken:
+            def SharedMemory(self, *args, **kwargs):
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(shm, "_shared_memory", _Broken())
+        cache = RoutingCache(small_graph, destinations=list(range(8)))
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            parallel_warm_cache(cache, workers=2, transport="shm")
+        assert cache.stats().installs == 8  # warm never fails because shm did
+        assert registry.snapshot()["counters"]["parallel.shm.fallbacks"] >= 1
+        assert any("fell back to pickled trees" in r.message for r in caplog.records)
+
+    def test_pickle_transport_still_available(self, small_graph):
+        cache = RoutingCache(small_graph, destinations=list(range(6)))
+        parallel_warm_cache(cache, workers=2, transport="pickle")
+        assert cache.stats().installs == 6
+
+    def test_bad_transport_rejected(self, small_graph):
+        cache = RoutingCache(small_graph, destinations=[0])
+        with pytest.raises(ValueError, match="transport"):
+            parallel_warm_cache(cache, workers=2, transport="carrier-pigeon")
