@@ -2,10 +2,13 @@
 
 .PHONY: install test test-resilience bench bench-json bench-compare bench-large examples lint-clean
 
-# Compare the oldest and newest BENCH_*.json snapshots (override with
+# Compare the two newest BENCH_*.json snapshots (override with
 # BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
-BENCH_OLD ?= $(firstword $(sort $(wildcard BENCH_*.json)))
-BENCH_NEW ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+# Adjacent snapshots share machine conditions, so the diff isolates the
+# latest change instead of cumulative day-to-day container drift.
+BENCH_ALL := $(sort $(wildcard BENCH_*.json))
+BENCH_NEW ?= $(lastword $(BENCH_ALL))
+BENCH_OLD ?= $(lastword $(filter-out $(BENCH_NEW),$(BENCH_ALL)))
 
 install:
 	pip install -e .
@@ -27,8 +30,16 @@ bench-json:
 		pytest $(wildcard benchmarks/bench_kernel_*.py) --benchmark-only \
 		--benchmark-json=BENCH_$(shell date +%Y%m%d).json
 
+# --require guards the gate's coverage: the newest snapshot must still
+# contain the core kernels and the per-policy kernels (default-policy
+# variants included) or the comparison fails outright.  --stat min
+# because microsecond benches on shared machines have mean runtimes
+# dominated by scheduler outliers; --only kernel because the gate is a
+# *kernel* regression gate (artifact benches run once and can't clear
+# a 10% bar on shared hardware).
 bench-compare:
-	python scripts/bench_compare.py $(BENCH_OLD) $(BENCH_NEW)
+	python scripts/bench_compare.py $(BENCH_OLD) $(BENCH_NEW) \
+		--require kernel --require kernel_policy --stat min --only kernel
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only

@@ -28,7 +28,9 @@ def test_kernel_warm_serial(benchmark):
         parallel_warm_cache(cache, workers=1)
         return cache
 
-    cache = benchmark.pedantic(warm, rounds=3, iterations=1)
+    # enough rounds that the min statistic survives scheduler noise on
+    # shared machines (see scripts/bench_compare.py --stat)
+    cache = benchmark.pedantic(warm, rounds=8, iterations=1)
     assert len(cache._routing) == cache.graph.n
 
 
@@ -38,5 +40,5 @@ def test_kernel_warm_processes(benchmark):
         parallel_warm_cache(cache, workers=4)
         return cache
 
-    cache = benchmark.pedantic(warm, rounds=3, iterations=1)
+    cache = benchmark.pedantic(warm, rounds=8, iterations=1)
     assert len(cache._routing) == cache.graph.n

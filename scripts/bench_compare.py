@@ -5,14 +5,25 @@ Usage::
 
     python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
 
-Prints a per-benchmark table of mean runtimes and flags every benchmark
-whose mean regressed by more than ``--threshold`` (default 10%).  Exits
-non-zero when regressions are found, so the comparison can gate a local
+Prints a per-benchmark table of runtimes and flags every benchmark that
+regressed by more than ``--threshold`` (default 10%).  Exits non-zero
+when regressions are found, so the comparison can gate a local
 workflow — CI runs it as a *non-blocking* smoke signal (shared runners
 are too noisy to make hard promises about wall-clock).
 
+``--stat`` picks the statistic under comparison: ``mean`` (default) or
+``min``.  On contended machines the mean of a microsecond-scale bench
+is dominated by scheduler outliers; ``min`` is the robust choice there
+(it approximates the noise-free runtime, which is why pytest-benchmark
+sorts by it).
+
 Benchmarks present in only one file are listed but never counted as
-regressions (new benchmarks appear, old ones retire).
+regressions (new benchmarks appear, old ones retire).  ``--require
+SUBSTRING`` (repeatable) additionally fails the gate when the *current*
+file has no benchmark containing the substring — so a rename or an
+accidentally-skipped kernel bench cannot silently drop coverage the
+gate is supposed to provide (e.g. ``--require kernel_policy`` keeps the
+default-policy kernels under the regression threshold).
 """
 
 from __future__ import annotations
@@ -22,13 +33,13 @@ import json
 import sys
 
 
-def load_means(path: str) -> dict[str, float]:
-    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON."""
+def load_stats(path: str, stat: str = "mean") -> dict[str, float]:
+    """``{benchmark name: stat seconds}`` from a pytest-benchmark JSON."""
     with open(path) as fh:
         data = json.load(fh)
     out: dict[str, float] = {}
     for bench in data.get("benchmarks", []):
-        out[bench["name"]] = float(bench["stats"]["mean"])
+        out[bench["name"]] = float(bench["stats"][stat])
     return out
 
 
@@ -84,9 +95,31 @@ def main(argv: list[str] | None = None) -> int:
         "--only", default=None,
         help="restrict the comparison to benchmark names containing this substring",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="SUBSTRING",
+        help="fail unless the current file has a benchmark containing "
+             "SUBSTRING (repeatable); guards against silently dropped coverage",
+    )
+    parser.add_argument(
+        "--stat", choices=("mean", "min"), default="mean",
+        help="statistic under comparison; min resists scheduler outliers "
+             "on contended machines (default mean)",
+    )
     args = parser.parse_args(argv)
+    current = load_stats(args.current, args.stat)
+    missing = [
+        needle for needle in args.require
+        if not any(needle in name for name in current)
+    ]
+    if missing:
+        print(
+            f"{args.current}: no benchmark matches required substring(s): "
+            f"{', '.join(missing)}"
+        )
+        return 1
     regressions = compare(
-        load_means(args.baseline), load_means(args.current), args.threshold, args.only
+        load_stats(args.baseline, args.stat), current, args.threshold,
+        args.only,
     )
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "

@@ -27,6 +27,7 @@ from repro.experiments import (
     run_cp_vs_tier1,
     run_sweep,
 )
+from repro.routing.policy import available_policies
 from repro.routing.tiebreak import (
     collect_tiebreak_stats,
     security_sensitive_decision_fraction,
@@ -41,6 +42,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--theta", type=float, default=0.05, help="deployment threshold")
     parser.add_argument("--augmented", action="store_true", help="use the augmented graph")
     parser.add_argument("--workers", type=int, default=1, help="cache-warm workers")
+    parser.add_argument("--policy", default="security_3rd",
+                        metavar="NAME",
+                        help="routing policy driving route selection "
+                             f"(one of: {', '.join(available_policies())}; "
+                             "aliases like 'gao-rexford' also work)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the merged metrics snapshot (counters, "
                              "gauges, histograms) to PATH as JSON")
@@ -106,7 +112,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         env = build_environment(
             n=args.n, seed=args.seed, x=args.x, augmented=args.augmented,
-            workers=args.workers,
+            workers=args.workers, policy=args.policy,
         )
         command = args.command.replace("-", "_")
         handler = globals()[f"_cmd_{command}"]
@@ -155,7 +161,7 @@ def _cmd_case_study(env, args) -> None:
 
 
 def _cmd_sweep(env, args) -> None:
-    from repro.runtime.errors import JournalError
+    from repro.runtime.errors import PersistenceError
     from repro.runtime.journal import RunJournal
 
     journal = None
@@ -170,7 +176,9 @@ def _cmd_sweep(env, args) -> None:
             )
     try:
         cells = run_sweep(env, journal=journal)
-    except JournalError as exc:
+    except PersistenceError as exc:
+        # journal mismatch/corruption and policy-mismatch SchemaError all
+        # surface as one-line messages, not tracebacks
         raise SystemExit(str(exc)) from exc
     table = format_table(
         ["adopters", "theta", "frac ASes", "frac ISPs", "frac paths", "f^2", "rounds", "outcome"],
@@ -260,10 +268,12 @@ def _cmd_graph_stats(env, args) -> None:
     print("top-5 by degree:", top_by_degree(env.graph, 5))
     cs = env.cache.stats()
     print(format_table(
-        ["hits", "misses", "builds", "installs", "warm s", "cached", "fraction"],
-        [[cs.hits, cs.misses, cs.builds, cs.installs,
+        ["policy", "hits", "misses", "builds", "installs", "warm s",
+         "cached", "fraction", "arena MiB", "state rebuilds"],
+        [[cs.policy, cs.hits, cs.misses, cs.builds, cs.installs,
           f"{cs.warm_seconds:.2f}", f"{cs.cached}/{cs.total}",
-          f"{cs.cached_fraction:.1%}"]],
+          f"{cs.cached_fraction:.1%}", f"{cs.arena_bytes / 2**20:.1f}",
+          cs.state_rebuilds]],
         title="routing cache",
     ))
 

@@ -52,6 +52,11 @@ class SimulationConfig:
     stub_breaks_ties: bool = True
     projection: ProjectionEngine = ProjectionEngine.FULL
     max_rounds: int = 200
+    #: routing-policy registry name (or alias) driving route selection:
+    #: "security_3rd" is the paper's Appendix-A ranking; "security_2nd"
+    #: / "security_1st" promote SecP (Lychev et al.); "sp_first" /
+    #: "sticky_primaries" are the §8.3 deviations
+    policy: str = "security_3rd"
     #: secure ISPs may turn S*BGP off (only meaningful under INCOMING;
     #: Theorem 6.2 rules it out under OUTGOING, where it is ignored)
     allow_turn_off: bool = True
@@ -67,6 +72,11 @@ class SimulationConfig:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        from repro.routing.policy import get_policy
+
+        # resolve aliases eagerly so equal configs compare equal and the
+        # journal always records the canonical name
+        object.__setattr__(self, "policy", get_policy(self.policy).name)
 
     @property
     def turn_off_enabled(self) -> bool:

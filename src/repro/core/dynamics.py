@@ -29,6 +29,7 @@ from repro.core.pricing import LINEAR_PRICING, Pricing
 from repro.core.projection import Projection, project_flip
 from repro.core.state import DeploymentState, StateDeriver
 from repro.routing.cache import RoutingCache
+from repro.routing.policy import DEFAULT_POLICY
 from repro.runtime.journal import RunJournal, coerce_journal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.spans import get_tracer
@@ -160,7 +161,18 @@ class DeploymentSimulation:
     ):
         self.graph = graph
         self.config = config or SimulationConfig()
-        self.cache = cache or RoutingCache(graph)
+        if cache is not None and cache.policy_name != self.config.policy:
+            # a shared cache is authoritative for its routing structures;
+            # silently honouring a *different* explicit config.policy would
+            # mix rankings, so that combination is rejected outright
+            if self.config.policy != DEFAULT_POLICY:
+                raise ValueError(
+                    f"config.policy={self.config.policy!r} conflicts with the "
+                    f"shared cache's policy {cache.policy_name!r}; pass a cache "
+                    "built with the same policy (or drop one of the two)"
+                )
+            self.config = dataclasses.replace(self.config, policy=cache.policy_name)
+        self.cache = cache or RoutingCache(graph, policy=self.config.policy)
         self.deriver = StateDeriver(
             graph,
             stub_breaks_ties=self.config.stub_breaks_ties,
@@ -253,6 +265,7 @@ class DeploymentSimulation:
             "theta": self.config.theta,
             "utility_model": self.config.utility_model.value,
             "stub_breaks_ties": self.config.stub_breaks_ties,
+            "policy": self.cache.policy_name,
             "max_rounds": self.config.max_rounds,
             "early_adopters": sorted(
                 graph.asn(i) for i in self.state.early_adopters

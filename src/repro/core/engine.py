@@ -121,6 +121,9 @@ def compute_round_data(
     breaks = deriver.breaks_ties(node_secure)
     w = graph.weights
 
+    # no-op for state-independent policies; rebuilds every structure
+    # under (node_secure, breaks) for security_1st / security_2nd
+    cache.ensure_state(node_secure, breaks)
     arena = cache.ensure_arena()
     slots = arena.all_slots()
     bt = compute_trees_batched(arena, slots, node_secure, breaks)

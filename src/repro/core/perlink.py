@@ -24,7 +24,7 @@ import itertools
 import numpy as np
 
 from repro.core.config import UtilityModel
-from repro.routing.policy import RouteClass, tie_hash
+from repro.routing.policy import RouteClass, RoutingPolicy, get_policy
 from repro.topology.graph import ASGraph
 
 _EXPORT_OK = (RouteClass.CUSTOMER, RouteClass.SELF)
@@ -56,9 +56,15 @@ def routes_with_link_security(
     breaks_ties: np.ndarray,
     disabled_links: dict[int, set[int]] | None = None,
     max_sweeps: int = 10_000,
+    policy: "str | RoutingPolicy" = "security_3rd",
 ) -> dict[int, _Route]:
-    """Fixpoint route selection with per-link security semantics."""
+    """Fixpoint route selection with per-link security semantics.
+
+    ``policy`` selects the preference ranking (SecP placement); the
+    per-link twist is only in what counts as a *secure* offer.
+    """
     n = graph.n
+    pol = get_policy(policy)
     disabled = disabled_links or {}
     selected: dict[int, _Route] = {
         dest: _Route(RouteClass.SELF, 0, bool(node_secure[dest]), dest)
@@ -86,10 +92,14 @@ def routes_with_link_security(
                         route.secure
                         and _link_active(disabled, i, nbr, node_secure)
                     )
-                    secp = 0
-                    if node_secure[i] and breaks_ties[i]:
-                        secp = 0 if secure else 1
-                    key = (-int(kind), route.length + 1, secp, tie_hash(i, nbr), nbr)
+                    key = pol.rank_key(
+                        route_class=int(kind),
+                        length=route.length + 1,
+                        secure=secure,
+                        applies_secp=bool(node_secure[i] and breaks_ties[i]),
+                        node=i,
+                        next_hop=nbr,
+                    )
                     if best_key is None or key < best_key:
                         best_key = key
                         best = _Route(kind, route.length + 1, secure, nbr)
@@ -112,13 +122,15 @@ def utility_with_links(
     isp: int,
     disabled_links: dict[int, set[int]] | None = None,
     model: UtilityModel = UtilityModel.INCOMING,
+    policy: "str | RoutingPolicy" = "security_3rd",
 ) -> float:
     """Utility of ``isp`` with the given per-link configuration."""
     total = 0.0
     w = graph.weights
     for dest in range(graph.n):
         selection = routes_with_link_security(
-            graph, dest, node_secure, breaks_ties, disabled_links
+            graph, dest, node_secure, breaks_ties, disabled_links,
+            policy=policy,
         )
         for i, route in selection.items():
             if i == dest or i == isp:
@@ -165,6 +177,7 @@ def best_link_deployment(
     isp: int,
     model: UtilityModel = UtilityModel.INCOMING,
     neighbor_limit: int = 12,
+    policy: "str | RoutingPolicy" = "security_3rd",
 ) -> LinkDeploymentResult:
     """Brute-force the utility-maximising set of links to secure.
 
@@ -185,7 +198,8 @@ def best_link_deployment(
             evaluations += 1
             disabled = {isp: set(combo)}
             utility = utility_with_links(
-                graph, node_secure, breaks_ties, isp, disabled, model
+                graph, node_secure, breaks_ties, isp, disabled, model,
+                policy=policy,
             )
             if best is None or utility > best.utility:
                 best = LinkDeploymentResult(

@@ -22,6 +22,13 @@ Two engines with identical outputs:
     through the reverse tiebreak graph, touching only affected nodes.
     Traffic deltas are then integrated by walking the short paths of
     the sources whose routes moved.
+
+Both engines assume Observation C.1 (structures are state-independent;
+only tie-breaks move).  Under the state-dependent policies
+(``security_1st`` / ``security_2nd``) every projection instead takes a
+dedicated full-rebuild path that re-runs the fixpoint builder for the
+destinations that can react to the flip — see
+:func:`_project_flip_state_dependent`.
 """
 
 from __future__ import annotations
@@ -87,6 +94,15 @@ def project_flip(
     breaks_new = deriver.breaks_ties(node_secure_new)
 
     w = graph.weights
+
+    if cache.policy.state_dependent:
+        # the flip moves classes/lengths, not just tie-breaks: rebuild
+        # the affected structures from scratch under the flipped state
+        return _project_flip_state_dependent(
+            cache, rd, isp, turning_on, flips,
+            node_secure_new, breaks_new, model,
+        )
+
     delta = 0.0
     recomputed = 0
     touched = 0
@@ -145,6 +161,73 @@ def _contribution(ds: DestState, node: int, node_weights: np.ndarray, model: Uti
     if model is UtilityModel.OUTGOING:
         return outgoing_contribution(ds, node)
     return incoming_contribution(ds, node, node_weights)
+
+
+def _project_flip_state_dependent(
+    cache: RoutingCache,
+    rd: RoundData,
+    isp: int,
+    turning_on: bool,
+    flips: dict[int, bool],
+    node_secure_new: np.ndarray,
+    breaks_new: np.ndarray,
+    model: UtilityModel,
+) -> Projection:
+    """FULL projection for policies where structures move with the state.
+
+    The tiebreak-only machinery (arena re-resolution, incremental
+    propagation, the ``sec``/``any_sec`` candidate refinements) assumes
+    Observation C.1 and is invalid here.  What survives is the coarse
+    pruning: a destination that is insecure in *both* states has
+    all-insecure paths under any ranking, so its routing collapses to
+    the security-free order of the policy and cannot react to the flip.
+    Everything else — destinations secure in either state, plus the
+    flipped nodes themselves — is rebuilt by the batched fixpoint under
+    the flipped state and resolved per destination.
+    """
+    graph = cache.graph
+    w = graph.weights
+    dest_idx = np.asarray(cache.destinations, dtype=np.int64)
+    relevant = rd.node_secure[dest_idx] | node_secure_new[dest_idx]
+    special_positions = {
+        pos for node in flips
+        if (pos := cache.position_of(node)) is not None
+    }
+    positions = sorted(set(np.flatnonzero(relevant).tolist()) | special_positions)
+
+    delta = 0.0
+    touched = 0
+    if positions:
+        routings = cache.policy.build_many(
+            graph,
+            [cache.destinations[p] for p in positions],
+            cache.compiled,
+            node_secure=node_secure_new,
+            breaks_ties=breaks_new,
+        )
+        for pos, dr_new in zip(positions, routings):
+            tree = compute_tree(dr_new, node_secure_new, breaks_new)
+            new_ds = DestState(
+                dr=dr_new,
+                tree=tree,
+                weights=subtree_weights(dr_new, tree, w),
+            )
+            old_ds = rd.dest_states[pos]
+            d = _contribution(new_ds, isp, w, model) - _contribution(
+                old_ds, isp, w, model
+            )
+            if pos not in special_positions and d:
+                touched += 1
+            delta += d
+
+    return Projection(
+        isp=isp,
+        turning_on=turning_on,
+        utility=float(rd.utilities[isp]) + delta,
+        flips=flips,
+        dests_recomputed=len(positions),
+        dests_delta=touched,
+    )
 
 
 def _recompute_dest_states(
@@ -419,12 +502,41 @@ def per_destination_turn_off_gains(
     if not len(secure_pos):
         return gains
     # only destinations where isp currently has a secure chosen path can
-    # react to the downgrade
+    # react to the downgrade (valid under every policy: with no secure
+    # chosen path, isp's selection and its announcements' security are
+    # already what the downgrade would make them)
     has_secure = rd.sec_matrix[secure_pos, isp]
-    for pos in secure_pos[has_secure]:
+    candidates = [
+        int(pos) for pos in secure_pos[has_secure]
+        if cache.destinations[pos] != isp
+    ]
+    if not candidates:
+        return gains
+    if cache.policy.state_dependent:
+        # incremental propagation is tiebreak-only; rebuild each
+        # candidate destination's structure under the downgraded state
+        routings = cache.policy.build_many(
+            cache.graph,
+            [cache.destinations[p] for p in candidates],
+            cache.compiled,
+            node_secure=node_secure_new,
+            breaks_ties=breaks_new,
+        )
+        for pos, dr_new in zip(candidates, routings):
+            tree = compute_tree(dr_new, node_secure_new, breaks_new)
+            new_ds = DestState(
+                dr=dr_new,
+                tree=tree,
+                weights=subtree_weights(dr_new, tree, w),
+            )
+            delta = _contribution(
+                new_ds, isp, w, UtilityModel.INCOMING
+            ) - _contribution(rd.dest_states[pos], isp, w, UtilityModel.INCOMING)
+            if delta > 0:
+                gains[cache.destinations[pos]] = delta
+        return gains
+    for pos in candidates:
         dest = cache.destinations[pos]
-        if dest == isp:
-            continue
         delta = _incremental_delta(
             rd.dest_states[pos], node_secure_new, breaks_new, flips, isp,
             UtilityModel.INCOMING, w,

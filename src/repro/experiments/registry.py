@@ -19,6 +19,9 @@ from repro.experiments.report import format_series, format_table
 from repro.experiments.setup import ExperimentEnv
 from repro.experiments.sweeps import cells_to_rows, run_sweep
 from repro.experiments.turnoff import per_destination_turn_off_census
+from repro.routing.cache import RoutingCache
+from repro.routing.policy import available_policies, get_policy
+from repro.routing.reference import ConvergenceError
 from repro.routing.tiebreak import (
     collect_tiebreak_stats,
     security_sensitive_decision_fraction,
@@ -90,6 +93,41 @@ def _sec73(env: ExperimentEnv) -> str:
     )
 
 
+def _sec83(env: ExperimentEnv) -> str:
+    """Policy ablation: the case study re-run under every registered
+    ranking (rounds capped — this is a comparison, not a full sweep).
+
+    Each policy gets a *fresh* cache: a :class:`RoutingCache` is bound
+    to one policy for its lifetime, so structures can never be shared
+    across rankings.  ``security_1st`` may fail to converge on some
+    topologies (Lychev et al.); that outcome is reported, not raised.
+    """
+    adopters = env.case_study_adopters()
+    dests = list(env.cache.destinations)
+    rows = []
+    for name in available_policies():
+        pol = get_policy(name)
+        cache = RoutingCache(env.graph, destinations=dests, policy=name)
+        config = SimulationConfig(
+            theta=0.05, max_rounds=12, policy=name, record_utilities=False
+        )
+        sim = DeploymentSimulation(env.graph, adopters, config, cache)
+        try:
+            result = sim.run()
+        except ConvergenceError:
+            rows.append([name, pol.ranking_str(), "-", "-", "no-convergence"])
+            continue
+        frac = float(result.final_node_secure.sum()) / env.graph.n
+        rows.append([
+            name, pol.ranking_str(), f"{frac:.3f}",
+            result.num_rounds, result.outcome.value,
+        ])
+    return format_table(
+        ["policy", "ranking", "frac secure", "rounds", "outcome"], rows,
+        title="Sec 8.3 / Lychev et al.: adoption by routing policy (12-round cap)",
+    )
+
+
 def _table2(env: ExperimentEnv) -> str:
     s = summarize(env.graph)
     return format_table(
@@ -108,6 +146,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("fig8", "Theta sweep", "Fig 8-9 / §6.3-6.5", _fig8),
         Experiment("fig10", "Tiebreak sets", "Fig 10 / §6.6-6.7", _fig10),
         Experiment("sec73", "Turn-off census", "§7.3", _sec73),
+        Experiment("sec83", "Routing-policy ablation", "§8.3 / Lychev et al.", _sec83),
         Experiment("table2", "Graph composition", "Table 2 / App D", _table2),
     )
 }

@@ -72,11 +72,14 @@ def build_environment(
     workers: int = 1,
     config: TopologyConfig | None = None,
     sample_destinations: int | None = None,
+    policy: str = "security_3rd",
 ) -> ExperimentEnv:
     """Generate a topology, apply the traffic model, and warm the cache.
 
     ``x`` is the CP traffic fraction (§3.1); ``augmented=True`` applies
-    the Appendix-D CP-peering augmentation before caching.
+    the Appendix-D CP-peering augmentation before caching.  ``policy``
+    names the routing-policy registry entry the cache is bound to (see
+    :func:`repro.routing.policy.available_policies`).
 
     ``sample_destinations`` restricts the routing cache to a uniform
     sample of that many destinations: utilities (and hence decisions)
@@ -100,7 +103,7 @@ def build_environment(
     if sample_destinations is not None and sample_destinations < graph.n:
         rng = random.Random(seed + 17)
         destinations = sorted(rng.sample(range(graph.n), sample_destinations))
-    cache = RoutingCache(graph, destinations=destinations)
+    cache = RoutingCache(graph, destinations=destinations, policy=policy)
     if warm:
         parallel_warm_cache(cache, workers=workers)
         cache.ensure_arena()  # pool the trees before the first round

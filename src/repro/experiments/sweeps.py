@@ -30,6 +30,7 @@ from repro.core.metrics import (
 )
 from repro.core.state import StateDeriver
 from repro.experiments.setup import ExperimentEnv
+from repro.runtime.errors import SchemaError
 from repro.runtime.journal import RunJournal, coerce_journal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.spans import get_tracer
@@ -90,6 +91,7 @@ def _sweep_meta(
     """
     return {
         "num_ases": env.graph.n,
+        "policy": env.cache.policy_name,
         "thetas": [float(t) for t in thetas],
         "adopter_sets": {
             name: sorted(asns) for name, asns in sorted(adopter_sets.items())
@@ -117,6 +119,7 @@ def _run_cell(
         utility_model=utility_model,
         stub_breaks_ties=stub_breaks_ties,
         max_rounds=max_rounds,
+        policy=env.cache.policy_name,
     )
     sim = DeploymentSimulation(env.graph, adopters, config, env.cache)
     result = sim.run()
@@ -146,6 +149,30 @@ def _run_cell(
     )
 
 
+def _check_journal_policy(journal: RunJournal, policy: str) -> None:
+    """Refuse to resume a sweep journal recorded under another policy.
+
+    Cells computed under different routing policies are not comparable;
+    replaying them into one grid would silently corrupt every figure.
+    Raised *before* the generic header check so the error names the two
+    policies instead of a bag of mismatched metadata keys.
+    """
+    if not journal.exists():
+        return
+    header = journal.header()
+    if header is None or header.get("kind") != SWEEP_JOURNAL_KIND:
+        return  # kind mismatch is ensure_header's to report
+    recorded = (header.get("meta") or {}).get("policy", "security_3rd")
+    if recorded != policy:
+        raise SchemaError(
+            f"{journal.path}: sweep journal was recorded under routing "
+            f"policy {recorded!r} but this run uses {policy!r}; resuming "
+            "would mix cells from incompatible rankings — use a fresh "
+            "journal path (or rebuild the environment with the recorded "
+            "policy)"
+        )
+
+
 def run_sweep(
     env: ExperimentEnv,
     thetas: Sequence[float] = DEFAULT_THETAS,
@@ -167,6 +194,7 @@ def run_sweep(
     journal = coerce_journal(journal)
     done: dict[tuple[str, float], SweepCell] = {}
     if journal is not None:
+        _check_journal_policy(journal, env.cache.policy_name)
         journal.ensure_header(
             SWEEP_JOURNAL_KIND,
             _sweep_meta(

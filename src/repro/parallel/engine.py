@@ -423,26 +423,49 @@ def default_engine(workers: int = 1) -> MapReduceEngine:
 class _DestRoutingBuilder:
     """Picklable map function: destination index -> DestRouting.
 
-    Carries the graph, its compiled form, and the cache's policy and
-    transform; with the fork context the pickle cost is paid once per
-    partition, and page sharing keeps the memory overhead low.
+    Carries the graph, its compiled form, the cache's policy name,
+    transform, and (for state-dependent policies) the deployment state
+    the structures must be built under; with the fork context the
+    pickle cost is paid once per partition, and page sharing keeps the
+    memory overhead low.
     """
 
-    def __init__(self, graph, compiled, policy: str = "gao-rexford", transform=None):
+    def __init__(
+        self,
+        graph,
+        compiled,
+        policy: str = "security_3rd",
+        transform=None,
+        node_secure=None,
+        breaks_ties=None,
+    ):
         self.graph = graph
         self.compiled = compiled
         self.policy = policy
         self.transform = transform
+        self.node_secure = node_secure
+        self.breaks_ties = breaks_ties
+
+    def build_many(self, dests):
+        from repro.routing.policy import get_policy
+
+        routings = get_policy(self.policy).build_many(
+            self.graph,
+            dests,
+            self.compiled,
+            node_secure=self.node_secure,
+            breaks_ties=self.breaks_ties,
+        )
+        if self.transform is not None:
+            routings = [self.transform(dr) for dr in routings]
+            for dr in routings:
+                dr.policy = get_policy(self.policy).name
+        return routings
 
     def __call__(self, dest: int):
-        from repro.routing.cache import POLICIES, _register_policies
-
-        _register_policies()
         registry = get_registry()
         with registry.histogram("routing.tree_build_seconds").time():
-            dr = POLICIES[self.policy](self.graph, dest, self.compiled)
-            if self.transform is not None:
-                dr = self.transform(dr)
+            dr = self.build_many([dest])[0]
         registry.counter("routing.tree_builds").inc()
         return dr
 
@@ -459,15 +482,41 @@ class _PartitionArenaBuilder:
     fallback is counted (``parallel.shm.fallbacks``).
     """
 
-    def __init__(self, graph, compiled, policy: str = "gao-rexford", transform=None):
-        self.build = _DestRoutingBuilder(graph, compiled, policy, transform)
+    def __init__(
+        self,
+        graph,
+        compiled,
+        policy: str = "security_3rd",
+        transform=None,
+        node_secure=None,
+        breaks_ties=None,
+        state_key=None,
+    ):
+        self.build = _DestRoutingBuilder(
+            graph, compiled, policy, transform, node_secure, breaks_ties
+        )
+        self.state_key = state_key
 
     def __call__(self, dests: tuple[int, ...]):
         from repro.parallel.shm import publish_arena
         from repro.routing.arena import RoutingArena
+        from repro.routing.policy import get_policy
 
-        routings = [self.build(d) for d in dests]
-        arena = RoutingArena.build(self.build.graph.n, list(dests), routings)
+        registry = get_registry()
+        hist = registry.histogram("routing.tree_build_seconds")
+        start = time.perf_counter()
+        routings = self.build.build_many(list(dests))
+        per_tree = (time.perf_counter() - start) / max(len(dests), 1)
+        for _ in dests:  # one observation per tree, as on the serial path
+            hist.observe(per_tree)
+        registry.counter("routing.tree_builds").inc(len(dests))
+        arena = RoutingArena.build(
+            self.build.graph.n,
+            list(dests),
+            routings,
+            policy=get_policy(self.build.policy).name,
+            state_key=self.state_key,
+        )
         published = publish_arena(arena, dests=tuple(dests))
         if published is None:
             return ("pickle", tuple(dests), routings)
@@ -519,8 +568,10 @@ def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> Non
             from repro.parallel.shm import _note_fallback
 
             _note_fallback("multiprocessing.shared_memory not importable")
+    node_secure, breaks_ties = cache.current_state()
     build = _DestRoutingBuilder(
-        cache.graph, cache.compiled, cache.policy, cache.transform
+        cache.graph, cache.compiled, cache.policy.name, cache.transform,
+        node_secure, breaks_ties,
     )
     for dest, dr in zip(todo, engine.map(build, todo)):
         cache.install(dest, dr)
@@ -538,8 +589,10 @@ def _warm_via_shm(cache, engine: ProcessEngine, todo: list[int]) -> None:
         tuple(c)
         for c in partition(todo, engine.workers * engine.partitions_per_worker)
     ]
+    node_secure, breaks_ties = cache.current_state()
     build = _PartitionArenaBuilder(
-        cache.graph, cache.compiled, cache.policy, cache.transform
+        cache.graph, cache.compiled, cache.policy.name, cache.transform,
+        node_secure, breaks_ties, cache.state_key,
     )
     pickled_partitions = 0
     for result in engine.map(build, chunks):

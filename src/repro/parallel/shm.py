@@ -60,7 +60,10 @@ class ArenaHandle:
 
     ``dests`` duplicates the arena's slot order so a consumer can
     recover (recompute) the partition even when the segment itself is
-    gone — the crash-recovery path of the parallel warm.
+    gone — the crash-recovery path of the parallel warm.  ``policy``
+    and ``state_key`` carry the arena's provenance metadata across the
+    process boundary so an attached arena is exactly as restricted as
+    a locally-built one.
     """
 
     name: str
@@ -68,6 +71,8 @@ class ArenaHandle:
     total_bytes: int
     layout: Layout
     dests: tuple[int, ...]
+    policy: str = "security_3rd"
+    state_key: str | None = None
 
 
 def shm_available() -> bool:
@@ -123,6 +128,8 @@ def publish_arena(arena: RoutingArena, dests: tuple[int, ...] | None = None):
         total_bytes=total,
         layout=tuple(layout),
         dests=tuple(int(d) for d in arena.dest_ids) if dests is None else tuple(dests),
+        policy=arena.policy,
+        state_key=arena.state_key,
     )
     return handle, segment
 
@@ -156,7 +163,8 @@ def attach_arena(handle: ArenaHandle) -> RoutingArena:
         if att is None:
             segment = _shared_memory.SharedMemory(name=handle.name)
             arena = RoutingArena.from_buffer(
-                handle.graph_n, segment.buf, list(handle.layout)
+                handle.graph_n, segment.buf, list(handle.layout),
+                policy=handle.policy, state_key=handle.state_key,
             )
             att = _attached[handle.name] = _Attachment(segment, arena)
             get_registry().counter("parallel.shm.attaches").inc()
@@ -217,7 +225,8 @@ def consume_published_arena(handle: ArenaHandle) -> RoutingArena | None:
     get_registry().counter("parallel.shm.attaches").inc()
     try:
         arena = RoutingArena.from_buffer(
-            handle.graph_n, segment.buf, list(handle.layout), copy=True
+            handle.graph_n, segment.buf, list(handle.layout), copy=True,
+            policy=handle.policy, state_key=handle.state_key,
         )
     finally:
         segment.close()

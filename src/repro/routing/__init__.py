@@ -1,6 +1,7 @@
 """BGP policy-routing substrate: route classes, tiebreak sets, trees."""
 
-from repro.routing.cache import POLICIES, RoutingCache
+from repro.routing.cache import CacheStats, RoutingCache
+from repro.routing.fixpoint import fixpoint_dest_routings
 from repro.routing.fast_tree import (
     RoutingTree,
     compute_tree,
@@ -15,7 +16,18 @@ from repro.routing.flows import (
     traffic_shift,
 )
 from repro.routing.paths import as_path, path_is_secure, transit_nodes
-from repro.routing.policy import RouteClass, exportable_to, tie_hash, tie_hash_array
+from repro.routing.policy import (
+    Criterion,
+    RouteClass,
+    RoutingPolicy,
+    available_policies,
+    exportable_to,
+    get_policy,
+    policy_table,
+    register_policy,
+    tie_hash,
+    tie_hash_array,
+)
 from repro.routing.reference import (
     ConvergenceError,
     SelectedRoute,
@@ -40,17 +52,20 @@ from repro.routing.variants import (
 )
 
 __all__ = [
+    "CacheStats",
     "ConvergenceError",
+    "Criterion",
     "DestRouting",
-    "POLICIES",
     "RouteClass",
     "RouteInfo",
     "RoutingCache",
+    "RoutingPolicy",
     "RoutingTree",
     "SelectedRoute",
     "TiebreakStats",
     "TrafficShift",
     "as_path",
+    "available_policies",
     "collect_tiebreak_stats",
     "compute_dest_routing",
     "compute_dest_routing_sp_first",
@@ -58,6 +73,10 @@ __all__ = [
     "compute_tree_scalar",
     "deployment_traffic_shift",
     "exportable_to",
+    "fixpoint_dest_routings",
+    "get_policy",
+    "policy_table",
+    "register_policy",
     "link_loads",
     "mean_path_length",
     "path_is_secure",

@@ -130,8 +130,20 @@ class BatchedTrees:
 class RoutingArena:
     """Pooled, contiguous routing structures for a destination set."""
 
-    def __init__(self, graph_n: int, arrays: dict[str, np.ndarray]):
+    def __init__(
+        self,
+        graph_n: int,
+        arrays: dict[str, np.ndarray],
+        policy: str = "security_3rd",
+        state_key: str | None = None,
+    ):
         self.graph_n = graph_n
+        #: registry name of the routing policy the structures were built
+        #: under; :meth:`RoutingCache.install_arena` refuses a mismatch
+        self.policy = policy
+        #: deployment-state digest for state-dependent policies (None
+        #: for state-independent structures, which serve every state)
+        self.state_key = state_key
         for name, dtype in ARENA_FIELDS:
             arr = arrays[name]
             if str(arr.dtype) != dtype:
@@ -144,12 +156,19 @@ class RoutingArena:
 
     @classmethod
     def build(
-        cls, graph_n: int, dest_ids: list[int], routings: list[DestRouting]
+        cls,
+        graph_n: int,
+        dest_ids: list[int],
+        routings: list[DestRouting],
+        policy: str = "security_3rd",
+        state_key: str | None = None,
     ) -> "RoutingArena":
         """Pack per-destination :class:`DestRouting` structures.
 
         ``routings[k]`` must be the structure for ``dest_ids[k]``; the
-        slot order of the arena is the order given here.
+        slot order of the arena is the order given here.  ``policy`` /
+        ``state_key`` are carried as metadata so a shipped arena can
+        never be re-used under a different policy or deployment state.
         """
         if len(dest_ids) != len(routings):
             raise ValueError("dest_ids and routings must align")
@@ -200,6 +219,8 @@ class RoutingArena:
                 "cands_pool": cands_pool,
                 "keys_pool": keys_pool,
             },
+            policy=policy,
+            state_key=state_key,
         )
         registry = get_registry()
         registry.counter("routing.arena.builds").inc()
@@ -233,6 +254,7 @@ class RoutingArena:
             indptr=self.indptr_pool[i_lo:i_hi],
             cands=self.cands_pool[c_lo:c_hi],
             _tie_keys=self.keys_pool[c_lo:c_hi],
+            policy=self.policy,
         )
 
     def views(self) -> list[DestRouting]:
@@ -273,13 +295,15 @@ class RoutingArena:
         buf,
         layout: list[tuple[str, str, tuple[int, ...], int]],
         copy: bool = False,
+        policy: str = "security_3rd",
+        state_key: str | None = None,
     ) -> "RoutingArena":
         """Rebuild an arena over ``buf`` (zero-copy views unless ``copy``)."""
         arrays: dict[str, np.ndarray] = {}
         for name, dtype, shape, offset in layout:
             arr = np.ndarray(tuple(shape), dtype=dtype, buffer=buf, offset=offset)
             arrays[name] = arr.copy() if copy else arr
-        return cls(graph_n, arrays)
+        return cls(graph_n, arrays, policy=policy, state_key=state_key)
 
     # -- the batched kernel --------------------------------------------
 

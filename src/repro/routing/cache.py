@@ -1,16 +1,28 @@
-"""Cache of state-independent routing structures for a fixed graph.
+"""Cache of per-destination routing structures for a fixed graph.
 
-Observation C.1 makes everything in :class:`DestRouting` reusable across
-deployment states, so a simulation computes it once per destination and
-keeps it for every round and every projected state.  The cache also
-exposes the dense class matrix (``cls_matrix[d, i]`` = route class of
-node ``i`` toward destination ``d``) that the projection engine uses to
-filter destinations.
+Under state-independent policies (Observation C.1: SecP ranked last)
+everything in :class:`DestRouting` is reusable across deployment
+states, so a simulation computes it once per destination and keeps it
+for every round and every projected state.  The cache also exposes the
+dense class matrix (``cls_matrix[d, i]`` = route class of node ``i``
+toward destination ``d``) that the projection engine uses to filter
+destinations.
+
+The cache is bound to one :class:`~repro.routing.policy.RoutingPolicy`
+for its lifetime; the policy name travels with every structure it hands
+out (``DestRouting.policy``, ``RoutingArena.policy``), and installing a
+structure built under a different policy raises — mixed-policy reuse is
+a silent-wrong-results bug, not a recoverable condition.  For
+*state-dependent* policies (``security_1st`` / ``security_2nd``) the
+structures are additionally keyed by the deployment state:
+:meth:`RoutingCache.ensure_state` drops and rebuilds everything when
+the ``(node_secure, breaks_ties)`` pair changes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import time
 from typing import Callable
 
@@ -18,21 +30,18 @@ import numpy as np
 
 from repro.routing.arena import RoutingArena
 from repro.routing.compiled import CompiledGraph
-from repro.routing.tree import DestRouting, compute_dest_routing
+from repro.routing.policy import RoutingPolicy, get_policy
+from repro.routing.tree import DestRouting
 from repro.telemetry.metrics import get_registry
 from repro.topology.graph import ASGraph
 
-#: routing-policy registry: name -> compute function.  "gao-rexford" is
-#: the Appendix-A model; "sp-first" is the §8.3 shortest-path-first
-#: variant (see :mod:`repro.routing.variants`).
-POLICIES: dict[str, Callable[..., DestRouting]] = {}
 
-
-def _register_policies() -> None:
-    from repro.routing.variants import compute_dest_routing_sp_first
-
-    POLICIES.setdefault("gao-rexford", compute_dest_routing)
-    POLICIES.setdefault("sp-first", compute_dest_routing_sp_first)
+def state_digest(node_secure: np.ndarray, breaks_ties: np.ndarray) -> str:
+    """Short stable digest of a deployment state (for cache/arena keys)."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(np.asarray(node_secure, dtype=bool).tobytes())
+    h.update(np.asarray(breaks_ties, dtype=bool).tobytes())
+    return h.hexdigest()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,7 +52,10 @@ class CacheStats:
     warm wall time noted via :meth:`RoutingCache.note_warm_time`;
     ``installs`` counts trees computed elsewhere (worker processes) and
     shipped in, whose per-tree build time lives in the workers'
-    telemetry snapshots rather than here.
+    telemetry snapshots rather than here.  ``state_rebuilds`` counts
+    full drop-and-rebuild cycles triggered by deployment-state changes
+    (always 0 for state-independent policies); ``arena_bytes`` is the
+    pooled arena's footprint (0 until one is built).
     """
 
     hits: int
@@ -53,6 +65,9 @@ class CacheStats:
     warm_seconds: float
     cached: int
     total: int
+    policy: str = "security_3rd"
+    state_rebuilds: int = 0
+    arena_bytes: int = 0
 
     @property
     def cached_fraction(self) -> float:
@@ -79,25 +94,25 @@ class RoutingCache:
         Experiments on large graphs may sample destinations; utilities
         are then computed over the sampled destination set only.
     policy:
-        Routing policy name from :data:`POLICIES` ("gao-rexford"
-        default, "sp-first" for the §8.3 variant).
+        A :class:`~repro.routing.policy.RoutingPolicy` or registry name
+        / alias (``"security_3rd"`` default; see
+        :func:`repro.routing.policy.available_policies`).
     transform:
         Optional post-processor applied to each computed
         :class:`DestRouting` (e.g. the sticky-primary restriction of
-        :func:`repro.routing.variants.restrict_to_primary`).
+        :func:`repro.routing.variants.restrict_to_primary` with a
+        custom mask — the registered ``sticky_primaries`` policy covers
+        the standard §8.3 configuration without this hook).
     """
 
     def __init__(
         self,
         graph: ASGraph,
         destinations: list[int] | None = None,
-        policy: str = "gao-rexford",
+        policy: str | RoutingPolicy = "security_3rd",
         transform: Callable[[DestRouting], DestRouting] | None = None,
     ):
-        _register_policies()
-        if policy not in POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; choose from {sorted(POLICIES)}")
-        self.policy = policy
+        self.policy = get_policy(policy)
         self.transform = transform
         self.graph = graph
         self.compiled = CompiledGraph.from_graph(graph)
@@ -106,16 +121,69 @@ class RoutingCache:
         self._routing: dict[int, DestRouting] = {}
         self._arena: RoutingArena | None = None
         self._cls_matrix: np.ndarray | None = None
+        # deployment state the structures were built under; only
+        # meaningful for state-dependent policies (None = all-insecure)
+        self._node_secure: np.ndarray | None = None
+        self._breaks_ties: np.ndarray | None = None
+        self._state_key: str | None = None
+        if self.policy.state_dependent:
+            # structures built before any ensure_state() call use the
+            # all-insecure default; key it explicitly so round 0 of a
+            # pre-warmed simulation is not a spurious rebuild
+            empty = np.zeros(graph.n, dtype=bool)
+            self._state_key = state_digest(empty, empty)
         self._hits = 0
         self._misses = 0
         self._builds = 0
         self._installs = 0
+        self._state_rebuilds = 0
         self._warm_seconds = 0.0
+        get_registry().gauge(f"routing.policy.active.{self.policy.name}").set(1)
 
     @property
     def n(self) -> int:
         """Number of nodes in the underlying graph."""
         return self.graph.n
+
+    @property
+    def policy_name(self) -> str:
+        """Canonical registry name of this cache's policy."""
+        return self.policy.name
+
+    @property
+    def state_key(self) -> str | None:
+        """Digest of the deployment state the structures are built for.
+
+        ``None`` for state-independent policies (one structure serves
+        every state); for state-dependent policies this starts at the
+        all-insecure digest and tracks :meth:`ensure_state`.
+        """
+        return self._state_key
+
+    def current_state(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """``(node_secure, breaks_ties)`` the structures are built under.
+
+        ``(None, None)`` means the all-insecure default (and is the
+        permanent answer for state-independent policies).  Parallel
+        warmers ship this to worker processes so remotely-built
+        structures match the cache's state.
+        """
+        return self._node_secure, self._breaks_ties
+
+    def _build(self, dests: list[int]) -> list[DestRouting]:
+        """Build (and transform, and tag) structures for ``dests``."""
+        routings = self.policy.build_many(
+            self.graph,
+            dests,
+            self.compiled,
+            node_secure=self._node_secure,
+            breaks_ties=self._breaks_ties,
+        )
+        if self.transform is not None:
+            routings = [self.transform(dr) for dr in routings]
+            for dr in routings:
+                dr.policy = self.policy.name
+        return routings
 
     def dest_routing(self, dest: int) -> DestRouting:
         """The :class:`DestRouting` for ``dest`` (computed on first use)."""
@@ -125,9 +193,7 @@ class RoutingCache:
             self._misses += 1
             registry.counter("routing.cache.misses").inc()
             start = time.perf_counter()
-            dr = POLICIES[self.policy](self.graph, dest, self.compiled)
-            if self.transform is not None:
-                dr = self.transform(dr)
+            dr = self._build([dest])[0]
             elapsed = time.perf_counter() - start
             self._builds += 1
             self._warm_seconds += elapsed
@@ -140,9 +206,63 @@ class RoutingCache:
         return dr
 
     def warm(self) -> None:
-        """Precompute every destination in ``destinations``."""
-        for dest in self.destinations:
-            self.dest_routing(dest)
+        """Precompute every destination in ``destinations``.
+
+        State-dependent policies warm in one batched fixpoint run (the
+        Jacobi sweeps are shared across the whole destination chunk)
+        instead of destination-by-destination.
+        """
+        pending = self.pending_destinations()
+        if not pending:
+            return
+        if self.policy.state_dependent:
+            registry = get_registry()
+            start = time.perf_counter()
+            routings = self._build(pending)
+            elapsed = time.perf_counter() - start
+            for dest, dr in zip(pending, routings):
+                self._routing[dest] = dr
+            self._misses += len(pending)
+            self._builds += len(pending)
+            self._warm_seconds += elapsed
+            registry.counter("routing.cache.misses").inc(len(pending))
+            registry.counter("routing.tree_builds").inc(len(pending))
+            registry.histogram("routing.tree_build_seconds").observe(elapsed)
+        else:
+            for dest in pending:
+                self.dest_routing(dest)
+
+    def ensure_state(
+        self, node_secure: np.ndarray, breaks_ties: np.ndarray
+    ) -> bool:
+        """Make cached structures valid for this deployment state.
+
+        No-op (returns False) for state-independent policies and when
+        the state matches what is already cached.  Otherwise every
+        structure — per-destination routings, the arena, the class
+        matrix — is dropped and rebuilt under the new state; returns
+        True.  Callers on the round loop invoke this before
+        :meth:`ensure_arena`.
+        """
+        if not self.policy.state_dependent:
+            return False
+        key = state_digest(node_secure, breaks_ties)
+        if key == self._state_key:
+            return False
+        self._node_secure = np.array(node_secure, dtype=bool)
+        self._breaks_ties = np.array(breaks_ties, dtype=bool)
+        self._state_key = key
+        had_routings = bool(self._routing)
+        had_arena = self._arena is not None
+        self._routing.clear()
+        self._arena = None
+        self._cls_matrix = None
+        if had_routings or had_arena:
+            self._state_rebuilds += 1
+            get_registry().counter("routing.cache.state_rebuilds").inc()
+        if had_arena:
+            self.ensure_arena()
+        return True
 
     @property
     def arena(self) -> RoutingArena | None:
@@ -166,6 +286,8 @@ class RoutingCache:
                 self.graph.n,
                 self.destinations,
                 [self._routing[d] for d in self.destinations],
+                policy=self.policy.name,
+                state_key=self._state_key,
             )
             self._adopt_arena(arena)
         return self._arena
@@ -173,12 +295,24 @@ class RoutingCache:
     def install_arena(self, arena: RoutingArena) -> None:
         """Adopt a pre-built arena (e.g. attached from shared memory).
 
-        The arena's slot order must match this cache's ``destinations``;
-        every destination is then considered cached (counted as
-        installs, like trees shipped in from parallel warm workers).
+        The arena's slot order must match this cache's ``destinations``
+        and it must have been built under the same policy (and, for
+        state-dependent policies, the same deployment state); every
+        destination is then considered cached (counted as installs,
+        like trees shipped in from parallel warm workers).
         """
         if list(arena.dest_ids) != list(self.destinations):
             raise ValueError("arena destinations do not match this cache")
+        if arena.policy != self.policy.name:
+            raise ValueError(
+                f"arena was built under policy {arena.policy!r}; this cache "
+                f"uses {self.policy.name!r} (mixed-policy reuse is invalid)"
+            )
+        if arena.state_key != self._state_key:
+            raise ValueError(
+                f"arena was built for deployment state {arena.state_key!r}; "
+                f"this cache is at {self._state_key!r}"
+            )
         self._installs += arena.num_dests
         self._adopt_arena(arena)
 
@@ -195,11 +329,16 @@ class RoutingCache:
 
         Public entry point for parallel warmers (the per-destination
         structures are computed in worker processes and shipped back).
-        The caller is responsible for having applied this cache's
-        policy and transform; ``dest`` must be one of ``destinations``.
+        The structure must carry this cache's policy name (the worker
+        builders tag it); ``dest`` must be one of ``destinations``.
         """
         if dest not in self._dest_pos:
             raise KeyError(f"destination {dest} not in cache")
+        if routing.policy != self.policy.name:
+            raise ValueError(
+                f"routing for destination {dest} was built under policy "
+                f"{routing.policy!r}; this cache uses {self.policy.name!r}"
+            )
         self._installs += 1
         self._routing[dest] = routing
 
@@ -222,6 +361,9 @@ class RoutingCache:
             warm_seconds=self._warm_seconds,
             cached=len(self._routing),
             total=len(self.destinations),
+            policy=self.policy.name,
+            state_rebuilds=self._state_rebuilds,
+            arena_bytes=self._arena.nbytes if self._arena is not None else 0,
         )
 
     def is_cached(self, dest: int) -> bool:
@@ -236,7 +378,9 @@ class RoutingCache:
     def cls_matrix(self) -> np.ndarray:
         """int8 matrix ``[len(destinations), n]`` of route classes.
 
-        Row ``k`` corresponds to ``destinations[k]``.
+        Row ``k`` corresponds to ``destinations[k]``.  For
+        state-dependent policies the matrix reflects the state last
+        passed to :meth:`ensure_state`.
         """
         if self._cls_matrix is None:
             mat = np.empty((len(self.destinations), self.graph.n), dtype=np.int8)

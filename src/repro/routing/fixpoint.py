@@ -1,0 +1,311 @@
+"""Batched BGP fixpoint builder for state-dependent routing policies.
+
+Observation C.1 (``tree.py``) only holds when SecP is ranked *last*:
+then a security flip can change the choice within a tiebreak set but
+never the selected class or length.  Under ``security_2nd``
+(``LP > SecP > SP``) and ``security_1st`` (``SecP > LP > SP``) the
+structure itself — classes, lengths and tiebreak sets — depends on the
+deployment state, so this module computes it by synchronous (Jacobi)
+best-response iteration over the edge table, batched across
+destinations.
+
+Per sweep, every directed edge ``u <- v`` offers ``v``'s current label
+to ``u`` if GR2 allows the export; ``u`` takes the minimum of a packed
+``uint32`` rank key whose fields follow the policy ranking (first
+criterion in the highest bits).  Edges tied on the rank key form the
+tiebreak set, and the representative choice is the minimum of the
+static tie-break key ``hash(u, v) | position`` — the *same* rule the
+tree kernels apply, so a converged structure fed to
+:func:`~repro.routing.fast_tree.compute_tree` (or the batched arena
+kernel) under the same deployment state reproduces the fixpoint's
+choices exactly: tied candidates always share one length (SP is in
+every ranking), tie sets at SecP-applying nodes are security-
+homogeneous, and fixpoint selections are loop-free because lengths
+decrease by one along the choice chain.
+
+Convergence: rankings with LP first (``security_2nd``, and the default)
+admit no dispute wheel under GR1 topologies, so the iteration reaches
+the unique stable state in about one sweep per path-length level.
+``security_1st`` can genuinely oscillate (Lychev et al., PAPERS.md);
+the sweep cap turns that into a :class:`ConvergenceError` rather than a
+silent wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.routing.compiled import CompiledGraph
+from repro.routing.policy import (
+    POSITION_BITS,
+    Criterion,
+    RouteClass,
+    tie_hash_array,
+)
+from repro.routing.reference import ConvergenceError
+from repro.routing.tree import DestRouting
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.policy import RoutingPolicy
+    from repro.topology.graph import ASGraph
+
+_SELF = int(RouteClass.SELF)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PEER = int(RouteClass.PEER)
+_PROVIDER = int(RouteClass.PROVIDER)
+_UNREACHABLE = int(RouteClass.UNREACHABLE)
+
+_INVALID_A = np.uint32(0xFFFFFFFF)   # rank key of an inadmissible offer
+_BLOCKED_B = np.uint64(2**64 - 1)    # tie-break key of a non-tied edge
+_POS_MASK = np.uint64((1 << POSITION_BITS) - 1)
+_HASH_MASK = ~_POS_MASK
+
+#: rank-key field widths (bits); LP + SP + SECP must fit in 31 bits so
+#: every valid key is strictly below ``_INVALID_A``
+_WIDTH = {Criterion.LP: 2, Criterion.SP: 21, Criterion.SECP: 1}
+
+#: destinations per Jacobi batch — bounds the [chunk, edges] working set
+_CHUNK = 128
+
+
+class _EdgeTable:
+    """The directed offer graph ``u <- v`` in segment-sorted flat form.
+
+    Edges are concatenated class-by-class (customer, peer, provider —
+    the same order :func:`~repro.routing.tree.compute_dest_routing`
+    uses) and stable-sorted by ``(u, v)``, so the position of an edge
+    within its ``u``-segment orders candidates exactly like the rows of
+    the tiebreak CSR.  That makes the static tie-break key
+    ``hash(u, v) | segment_position`` decide ties identically to
+    :func:`~repro.routing.tree.compute_tie_keys` restricted to any tie
+    set.
+    """
+
+    def __init__(self, cg: CompiledGraph) -> None:
+        if cg.n > (1 << POSITION_BITS):
+            raise ValueError(
+                f"fixpoint tie-break keys need n <= {1 << POSITION_BITS}, got {cg.n}"
+            )
+        u = np.concatenate([cg.cust_src, cg.peer_src, cg.prov_src])
+        v = np.concatenate([cg.cust_idx, cg.peer_idx, cg.prov_idx])
+        route_cls = np.concatenate(
+            [
+                np.full(len(cg.cust_src), _CUSTOMER, dtype=np.int8),
+                np.full(len(cg.peer_src), _PEER, dtype=np.int8),
+                np.full(len(cg.prov_src), _PROVIDER, dtype=np.int8),
+            ]
+        )
+        sort = np.argsort(u.astype(np.int64) * cg.n + v, kind="stable")
+        self.n = cg.n
+        self.u = u[sort].astype(np.int32)
+        self.v = v[sort].astype(np.int32)
+        self.route_cls = route_cls[sort]
+        self.num_edges = len(self.u)
+        if self.num_edges:
+            breaks = np.flatnonzero(np.diff(self.u) != 0) + 1
+            self.seg_starts = np.concatenate([[0], breaks]).astype(np.int64)
+        else:
+            self.seg_starts = np.zeros(0, dtype=np.int64)
+        self.seg_u = self.u[self.seg_starts] if self.num_edges else self.u[:0]
+        bounds = np.concatenate([self.seg_starts, [self.num_edges]])
+        self.seg_sizes = np.diff(bounds)
+        seg_pos = (
+            np.arange(self.num_edges, dtype=np.uint64)
+            - np.repeat(self.seg_starts, self.seg_sizes).astype(np.uint64)
+        )
+        self.tie_key = (
+            tie_hash_array(self.u.astype(np.uint64), self.v.astype(np.uint64))
+            & _HASH_MASK
+        ) | seg_pos
+        # static LP field: customer (best) -> 0, peer -> 1, provider -> 2
+        self.lp_field = (2 - self.route_cls).astype(np.uint32)
+        self.is_provider_edge = self.route_cls == _PROVIDER
+
+
+def _pack_rank_keys(
+    table: _EdgeTable,
+    ranking: Sequence[Criterion],
+    cls: np.ndarray,
+    length: np.ndarray,
+    sec: np.ndarray,
+    applies_edge: np.ndarray,
+) -> np.ndarray:
+    """uint32[chunk, edges] rank key per offer; ``_INVALID_A`` if barred."""
+    cls_v = cls[:, table.v]
+    # GR2: across a peering or up to a provider only customer routes and
+    # the origin's own prefix travel; down to a customer anything does.
+    announces = (cls_v == _CUSTOMER) | (cls_v == _SELF)
+    valid = (cls_v != _UNREACHABLE) & (table.is_provider_edge | announces)
+
+    sp_field = (np.maximum(length[:, table.v], 0) + 1).astype(np.uint32)
+    secp_field = 1 - (applies_edge & sec[:, table.v]).astype(np.uint32)
+    key = np.zeros(valid.shape, dtype=np.uint32)
+    for crit in ranking:
+        if crit is Criterion.LP:
+            field: np.ndarray = table.lp_field
+        elif crit is Criterion.SP:
+            field = sp_field
+        else:
+            field = secp_field
+        key = (key << np.uint32(_WIDTH[crit])) | field
+    return np.where(valid, key, _INVALID_A)
+
+
+def _sweep(
+    table: _EdgeTable,
+    policy: "RoutingPolicy",
+    dests: np.ndarray,
+    node_secure: np.ndarray,
+    applies_edge: np.ndarray,
+    cls: np.ndarray,
+    length: np.ndarray,
+    sec: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One synchronous best-response step; returns new labels + tie mask."""
+    chunk = len(dests)
+    rows = np.arange(chunk)
+    new_cls = np.full((chunk, table.n), _UNREACHABLE, dtype=np.int8)
+    new_len = np.full((chunk, table.n), -1, dtype=np.int32)
+    new_sec = np.zeros((chunk, table.n), dtype=bool)
+    if table.num_edges:
+        key_a = _pack_rank_keys(
+            table, policy.ranking, cls, length, sec, applies_edge
+        )
+        best_a = np.minimum.reduceat(key_a, table.seg_starts, axis=1)
+        tied = (key_a == np.repeat(best_a, table.seg_sizes, axis=1)) & (
+            key_a != _INVALID_A
+        )
+        key_b = np.where(tied, table.tie_key[None, :], _BLOCKED_B)
+        chosen = np.minimum.reduceat(key_b, table.seg_starts, axis=1)
+        reachable = best_a != _INVALID_A
+        eidx = table.seg_starts[None, :] + np.where(
+            reachable, (chosen & _POS_MASK).astype(np.int64), 0
+        )
+        v_sel = table.v[eidx]
+        sec_v = np.take_along_axis(sec, v_sel, axis=1)
+        len_v = np.take_along_axis(length, v_sel, axis=1)
+        new_cls[:, table.seg_u] = np.where(
+            reachable, table.route_cls[eidx], np.int8(_UNREACHABLE)
+        )
+        new_len[:, table.seg_u] = np.where(reachable, len_v + 1, -1)
+        new_sec[:, table.seg_u] = reachable & node_secure[table.seg_u] & sec_v
+    else:
+        tied = np.zeros((chunk, 0), dtype=bool)
+    # the destination always keeps its own (empty, trivially best) route
+    new_cls[rows, dests] = _SELF
+    new_len[rows, dests] = 0
+    new_sec[rows, dests] = node_secure[dests]
+    return new_cls, new_len, new_sec, tied
+
+
+def _assemble(
+    table: _EdgeTable,
+    dest: int,
+    cls: np.ndarray,
+    length: np.ndarray,
+    tied: np.ndarray,
+) -> DestRouting:
+    """Package one destination's converged labels as a :class:`DestRouting`."""
+    n = table.n
+    order = np.flatnonzero(cls != _UNREACHABLE).astype(np.int32)
+    sort = np.argsort(length[order], kind="stable")
+    order = order[sort]
+    row_of = np.full(n, -1, dtype=np.int32)
+    row_of[order] = np.arange(len(order), dtype=np.int32)
+
+    max_len = int(length[order[-1]]) if len(order) else 0
+    level_starts = np.searchsorted(
+        length[order], np.arange(max_len + 2), side="left"
+    ).astype(np.int32)
+
+    keep = tied.copy()
+    if table.num_edges:
+        keep &= table.u != dest
+    srcs = table.u[keep]
+    dsts = table.v[keep]
+    rows = row_of[srcs]
+    sort = np.argsort(rows.astype(np.int64) * n + dsts, kind="stable")
+    rows, cands = rows[sort], dsts[sort].astype(np.int32)
+    counts = np.bincount(rows, minlength=len(order))
+    indptr = np.zeros(len(order) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    return DestRouting(
+        dest=dest,
+        cls=cls.astype(np.int8),
+        lengths=length.astype(np.int32),
+        order=order,
+        row_of=row_of,
+        level_starts=level_starts,
+        indptr=indptr,
+        cands=cands,
+    )
+
+
+def fixpoint_dest_routings(
+    graph: "ASGraph",
+    dests: Sequence[int],
+    policy: "RoutingPolicy",
+    compiled: CompiledGraph | None = None,
+    node_secure: np.ndarray | None = None,
+    breaks_ties: np.ndarray | None = None,
+    max_sweeps: int | None = None,
+) -> list[DestRouting]:
+    """Converged :class:`DestRouting` per destination under ``policy``.
+
+    ``node_secure`` / ``breaks_ties`` default to all-insecure, in which
+    case SecP never discriminates and any ranking degenerates to its
+    security-free order.  Raises :class:`ConvergenceError` if a batch
+    has not stabilised after ``max_sweeps`` (default ``n + 8``) — a real
+    possibility for ``security_1st``, which admits dispute wheels.
+    """
+    cg = compiled or CompiledGraph.from_graph(graph)
+    table = _EdgeTable(cg)
+    n = cg.n
+    if node_secure is None:
+        node_secure = np.zeros(n, dtype=bool)
+    if breaks_ties is None:
+        breaks_ties = np.zeros(n, dtype=bool)
+    node_secure = np.asarray(node_secure, dtype=bool)
+    applies = node_secure & np.asarray(breaks_ties, dtype=bool)
+    applies_edge = applies[table.u] if table.num_edges else applies[:0]
+    cap = max_sweeps if max_sweeps is not None else n + 8
+
+    dest_arr = np.asarray(list(dests), dtype=np.int64)
+    out: list[DestRouting] = []
+    for start in range(0, len(dest_arr), _CHUNK):
+        batch = dest_arr[start:start + _CHUNK]
+        chunk = len(batch)
+        rows = np.arange(chunk)
+        cls = np.full((chunk, n), _UNREACHABLE, dtype=np.int8)
+        length = np.full((chunk, n), -1, dtype=np.int32)
+        sec = np.zeros((chunk, n), dtype=bool)
+        cls[rows, batch] = _SELF
+        length[rows, batch] = 0
+        sec[rows, batch] = node_secure[batch]
+
+        tied = np.zeros((chunk, table.num_edges), dtype=bool)
+        for _ in range(cap):
+            new_cls, new_len, new_sec, tied = _sweep(
+                table, policy, batch, node_secure, applies_edge,
+                cls, length, sec,
+            )
+            if (
+                np.array_equal(new_cls, cls)
+                and np.array_equal(new_len, length)
+                and np.array_equal(new_sec, sec)
+            ):
+                break
+            cls, length, sec = new_cls, new_len, new_sec
+        else:
+            raise ConvergenceError(
+                f"policy {policy.name!r} did not converge within {cap} sweeps "
+                f"(destinations {batch[:4].tolist()}...)"
+            )
+        for k in range(chunk):
+            out.append(
+                _assemble(table, int(batch[k]), cls[k], length[k], tied[k])
+            )
+    return out

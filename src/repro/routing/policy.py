@@ -1,26 +1,60 @@
-"""The BGP routing-policy model of Appendix A.
+"""The BGP routing-policy model of Appendix A, as a pluggable object.
 
-Every AS ranks the routes it learns to a destination by:
+Every AS ranks the routes it learns to a destination by three criteria
+plus a deterministic tie-break:
 
 ``LP``  local preference: customer routes over peer routes over provider
         routes;
-``SP``  shortest AS path among those;
-``SecP`` if the AS is *secure*, fully-secure paths over insecure ones
-        (the paper's tie-break-on-security proposal, §2.2.2);
+``SP``  shortest AS path;
+``SecP`` if the AS is *secure* and applies the criterion, fully-secure
+        paths over insecure ones (the paper's proposal, §2.2.2);
 ``TB``  a deterministic hash tie-break ``H(a, b)`` on the next hop.
 
-Export follows GR2: AS ``b`` announces a route via ``c`` to neighbor
-``a`` iff at least one of ``a`` and ``c`` is ``b``'s customer.  In
-selected-route terms: ``b`` announces its selected route to its
-customers always, and to peers/providers only when that route is a
-customer route (or ``b`` is the destination itself).
+The paper fixes the order ``LP > SP > SecP > TB`` ("security 3rd");
+Lychev, Goldberg & Schapira (PAPERS.md) showed that *where* security
+sits in that ranking qualitatively changes partial-deployment outcomes.
+:class:`RoutingPolicy` makes the ranking a first-class value consumed by
+every route-computation layer (scalar reference, vectorised kernels,
+batched arena, projection, per-link fixpoint), and the registry below
+names the variants:
+
+========================  ==============================  =================
+name                      ranking                         structure
+========================  ==============================  =================
+``security_3rd``          ``LP > SP  > SecP > TB``        state-independent
+``security_2nd``          ``LP > SecP > SP  > TB``        state-dependent
+``security_1st``          ``SecP > LP > SP  > TB``        state-dependent
+``sp_first``              ``SP > LP  > SecP > TB``        state-independent
+``sticky_primaries``      ``LP > SP  > SecP > TB`` [*]_   state-independent
+========================  ==============================  =================
+
+.. [*] sticky primaries keeps the default ranking but collapses a fixed
+   fraction of ASes' tiebreak sets to a single primary (§8.3).
+
+Export always follows GR2: AS ``b`` announces a route via ``c`` to
+neighbor ``a`` iff at least one of ``a`` and ``c`` is ``b``'s customer.
+
+"State-independent" policies satisfy Observation C.1: route class and
+length per node do not depend on the deployment state, so one
+:class:`~repro.routing.tree.DestRouting` structure serves every state
+and only the tie-break resolution is re-run per round.  For
+state-dependent policies (SecP outranks SP or LP) the *structure* itself
+moves with the security flags, and the cache/projection layers rebuild
+it per state (see :mod:`repro.routing.fixpoint`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (tree imports policy)
+    from repro.routing.compiled import CompiledGraph
+    from repro.routing.tree import DestRouting
+    from repro.topology.graph import ASGraph
 
 
 class RouteClass(enum.IntEnum):
@@ -31,6 +65,14 @@ class RouteClass(enum.IntEnum):
     PEER = 1
     CUSTOMER = 2
     SELF = 3  # the destination's own (empty) route
+
+
+class Criterion(enum.Enum):
+    """One step of a routing policy's preference ranking."""
+
+    LP = "lp"      # local preference (route class)
+    SP = "sp"      # shortest path
+    SECP = "secp"  # secure paths first (when the node applies it)
 
 
 #: number of low bits of the tie-break key reserved for the candidate's
@@ -76,3 +118,261 @@ def exportable_to(route_class: RouteClass, neighbor_is_customer: bool) -> bool:
     if neighbor_is_customer:
         return route_class is not RouteClass.UNREACHABLE
     return route_class in (RouteClass.CUSTOMER, RouteClass.SELF)
+
+
+#: salt for the deterministic sticky-primary node mask (any fixed value)
+_STICKY_SALT = 0x5F1CC
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingPolicy:
+    """A complete route-selection policy: ranking + GR2 export.
+
+    ``ranking`` is a permutation of the three :class:`Criterion` values;
+    TB is always last.  ``sticky_fraction`` > 0 collapses that fraction
+    of nodes' tiebreak sets to their hash-preferred primary (§8.3's
+    sticky-primaries deviation) after the structure is built.
+    """
+
+    name: str
+    ranking: tuple[Criterion, Criterion, Criterion]
+    sticky_fraction: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if sorted(c.value for c in self.ranking) != ["lp", "secp", "sp"]:
+            raise ValueError(
+                f"ranking must be a permutation of (LP, SP, SECP), got {self.ranking}"
+            )
+        if not 0.0 <= self.sticky_fraction <= 1.0:
+            raise ValueError(
+                f"sticky_fraction must be in [0, 1], got {self.sticky_fraction}"
+            )
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def state_dependent(self) -> bool:
+        """Does the *structure* (class/length/tiebreak sets) move with S?
+
+        Under Observation C.1 the SecP step only picks within the
+        tiebreak set, which holds exactly when SecP is the last ranked
+        criterion.  When SecP outranks SP or LP, a security flip can
+        change selected classes and lengths, so every per-state
+        structure must be rebuilt (see :mod:`repro.routing.fixpoint`).
+        """
+        return self.ranking[-1] is not Criterion.SECP
+
+    def ranking_str(self) -> str:
+        """Human-readable ranking, e.g. ``"LP > SP > SecP > TB"``."""
+        names = {Criterion.LP: "LP", Criterion.SP: "SP", Criterion.SECP: "SecP"}
+        return " > ".join(names[c] for c in self.ranking) + " > TB"
+
+    # -- the scalar rank key (reference simulator, per-link fixpoint) ---
+
+    def rank_key(
+        self,
+        route_class: int,
+        length: int,
+        secure: bool,
+        applies_secp: bool,
+        node: int,
+        next_hop: int,
+    ) -> tuple:
+        """Comparable key for one offered route at ``node`` (lower wins).
+
+        ``secure`` is the offered path's security; ``applies_secp`` is
+        whether ``node`` applies the SecP criterion (secure and
+        tie-breaking).  The trailing ``(tie_hash, next_hop)`` pair is
+        the TB step, identical across policies.
+        """
+        parts: list[int] = []
+        for crit in self.ranking:
+            if crit is Criterion.LP:
+                parts.append(-int(route_class))
+            elif crit is Criterion.SP:
+                parts.append(int(length))
+            else:
+                parts.append(0 if (applies_secp and secure) else 1)
+        parts.append(tie_hash(node, next_hop))
+        parts.append(int(next_hop))
+        return tuple(parts)
+
+    def exportable(self, route_class: RouteClass, neighbor_is_customer: bool) -> bool:
+        """GR2 export rule (shared by every registered policy)."""
+        return exportable_to(route_class, neighbor_is_customer)
+
+    # -- sticky primaries ----------------------------------------------
+
+    def sticky_mask(self, n: int) -> np.ndarray | None:
+        """Deterministic bool[n] mask of sticky nodes (None when 0.0).
+
+        A node is sticky iff its salted hash falls below
+        ``sticky_fraction`` — stable across runs, no RNG state to ship
+        between processes.
+        """
+        if self.sticky_fraction <= 0.0:
+            return None
+        nodes = np.arange(n, dtype=np.uint64)
+        salt = np.full(n, _STICKY_SALT, dtype=np.uint64)
+        frac = tie_hash_array(salt, nodes).astype(np.float64) / float(2**64)
+        return frac < self.sticky_fraction
+
+    # -- structure builders --------------------------------------------
+
+    def build_dest_routing(
+        self,
+        graph: "ASGraph",
+        dest: int,
+        compiled: "CompiledGraph | None" = None,
+        node_secure: np.ndarray | None = None,
+        breaks_ties: np.ndarray | None = None,
+    ) -> "DestRouting":
+        """Build the per-destination structure under this policy.
+
+        For state-independent policies ``node_secure``/``breaks_ties``
+        are ignored (the structure serves every state).  For
+        state-dependent policies they default to all-insecure.
+        """
+        return self.build_many(
+            graph, [dest], compiled, node_secure=node_secure, breaks_ties=breaks_ties
+        )[0]
+
+    def build_many(
+        self,
+        graph: "ASGraph",
+        dests: Iterable[int],
+        compiled: "CompiledGraph | None" = None,
+        node_secure: np.ndarray | None = None,
+        breaks_ties: np.ndarray | None = None,
+    ) -> "list[DestRouting]":
+        """Batched :meth:`build_dest_routing` (one fixpoint sweep set
+        covers the whole batch for state-dependent policies)."""
+        dests = [int(d) for d in dests]
+        if self.state_dependent:
+            from repro.routing.fixpoint import fixpoint_dest_routings
+
+            routings = fixpoint_dest_routings(
+                graph, dests, self, compiled,
+                node_secure=node_secure, breaks_ties=breaks_ties,
+            )
+        else:
+            base = self._base_builder()
+            from repro.routing.compiled import CompiledGraph
+
+            cg = compiled or CompiledGraph.from_graph(graph)
+            routings = [base(graph, d, cg) for d in dests]
+        sticky = self.sticky_mask(graph.n)
+        if sticky is not None:
+            from repro.routing.variants import restrict_to_primary
+
+            routings = [restrict_to_primary(r, sticky) for r in routings]
+        for r in routings:
+            r.policy = self.name
+        return routings
+
+    def _base_builder(self) -> "Callable[..., DestRouting]":
+        """State-independent structure builder for this ranking."""
+        if self.ranking[0] is Criterion.SP:
+            from repro.routing.variants import compute_dest_routing_sp_first
+
+            return compute_dest_routing_sp_first
+        from repro.routing.tree import compute_dest_routing
+
+        return compute_dest_routing
+
+
+# -- the registry -------------------------------------------------------
+
+_REGISTRY: dict[str, RoutingPolicy] = {}
+_ALIASES: dict[str, str] = {}
+
+#: canonical name of the paper's Appendix-A policy
+DEFAULT_POLICY = "security_3rd"
+
+
+def register_policy(policy: RoutingPolicy, aliases: Iterable[str] = ()) -> RoutingPolicy:
+    """Add ``policy`` to the registry (idempotent for identical entries)."""
+    existing = _REGISTRY.get(policy.name)
+    if existing is not None and existing != policy:
+        raise ValueError(f"policy {policy.name!r} already registered differently")
+    _REGISTRY[policy.name] = policy
+    for alias in aliases:
+        target = _ALIASES.get(alias)
+        if target is not None and target != policy.name:
+            raise ValueError(f"alias {alias!r} already points at {target!r}")
+        _ALIASES[alias] = policy.name
+    return policy
+
+
+def get_policy(policy: "str | RoutingPolicy") -> RoutingPolicy:
+    """Resolve a policy name (or alias, or policy object) to the object."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    name = _ALIASES.get(policy, policy)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {available_policies()}"
+        ) from None
+
+
+def available_policies() -> list[str]:
+    """Canonical names of every registered policy, sorted."""
+    return sorted(_REGISTRY)
+
+
+def policy_table() -> list[tuple[str, str, str]]:
+    """``(name, ranking, description)`` rows for docs and ``--help``."""
+    return [
+        (p.name, p.ranking_str(), p.description)
+        for p in (_REGISTRY[k] for k in available_policies())
+    ]
+
+
+_LP, _SP, _SECP = Criterion.LP, Criterion.SP, Criterion.SECP
+
+SECURITY_3RD = register_policy(
+    RoutingPolicy(
+        name="security_3rd",
+        ranking=(_LP, _SP, _SECP),
+        description="Appendix A default: security breaks ties only",
+    ),
+    aliases=("default", "gao-rexford"),
+)
+
+SECURITY_2ND = register_policy(
+    RoutingPolicy(
+        name="security_2nd",
+        ranking=(_LP, _SECP, _SP),
+        description="security above path length (Lychev et al. '2nd')",
+    ),
+)
+
+SECURITY_1ST = register_policy(
+    RoutingPolicy(
+        name="security_1st",
+        ranking=(_SECP, _LP, _SP),
+        description="security above everything (Lychev et al. '1st')",
+    ),
+)
+
+SP_FIRST = register_policy(
+    RoutingPolicy(
+        name="sp_first",
+        ranking=(_SP, _LP, _SECP),
+        description="shortest-path-first deviation (§8.3)",
+    ),
+    aliases=("sp-first",),
+)
+
+STICKY_PRIMARIES = register_policy(
+    RoutingPolicy(
+        name="sticky_primaries",
+        ranking=(_LP, _SP, _SECP),
+        sticky_fraction=0.5,
+        description="half the ASes pin a fixed primary next hop (§8.3)",
+    ),
+    aliases=("sticky",),
+)

@@ -4,8 +4,10 @@ This simulator makes no use of Observation C.1 or the tiebreak-set
 machinery.  Every node holds its currently selected *full path*; on
 each sweep a node re-evaluates all routes available from its neighbors'
 selected paths (respecting GR2 export and BGP loop detection) and picks
-the best under ``LP > SP > SecP > TB``.  Sweeps repeat until a fixpoint,
-which Lemma G.1 guarantees exists under these policies.
+the best under the active :class:`~repro.routing.policy.RoutingPolicy`
+ranking (default ``LP > SP > SecP > TB``).  Sweeps repeat until a
+fixpoint, which Lemma G.1 guarantees exists under the default policy;
+``security_1st`` rankings may not converge (Lychev et al.).
 
 It is quadratic-ish and only suitable for small graphs; the property
 tests use it to validate :mod:`repro.routing.fast_tree` exactly,
@@ -18,7 +20,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.routing.policy import RouteClass, tie_hash
+from repro.routing.policy import RouteClass, RoutingPolicy, get_policy
 from repro.topology.graph import ASGraph
 
 
@@ -48,13 +50,16 @@ def simulate_bgp(
     node_secure: np.ndarray | None = None,
     breaks_ties: np.ndarray | None = None,
     max_sweeps: int = 10_000,
+    policy: "str | RoutingPolicy" = "security_3rd",
 ) -> dict[int, SelectedRoute]:
     """Run the fixpoint simulation toward ``dest`` (dense node index).
 
     Returns ``{node: SelectedRoute}`` for every node with a route.
     ``node_secure`` / ``breaks_ties`` default to all-insecure.
+    ``policy`` selects the preference ranking; export is GR2 always.
     """
     n = graph.n
+    pol = get_policy(policy)
     if node_secure is None:
         node_secure = np.zeros(n, dtype=bool)
     if breaks_ties is None:
@@ -78,17 +83,14 @@ def simulate_bgp(
 
     def rank_key(i: int, cand_route: SelectedRoute, kind: RouteClass) -> tuple:
         path = (i,) + cand_route.path
-        secure_ok = (
-            bool(node_secure[i])
-            and bool(breaks_ties[i])
-            and _is_secure_path(cand_route.path, node_secure)
-        )
-        return (
-            -int(kind),                      # LP: customer > peer > provider
-            len(path) - 1,                   # SP: shorter first
-            0 if secure_ok else 1,           # SecP (only if i applies it)
-            tie_hash(i, path[1]),            # TB
-            path[1],
+        applies_secp = bool(node_secure[i]) and bool(breaks_ties[i])
+        return pol.rank_key(
+            route_class=int(kind),
+            length=len(path) - 1,
+            secure=_is_secure_path(cand_route.path, node_secure),
+            applies_secp=applies_secp,
+            node=i,
+            next_hop=path[1],
         )
 
     for _ in range(max_sweeps):

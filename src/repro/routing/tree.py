@@ -221,6 +221,10 @@ class DestRouting:
     _tie_keys: np.ndarray | None = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    #: registry name of the :class:`~repro.routing.policy.RoutingPolicy`
+    #: this structure was built under.  Metadata only (the arrays fully
+    #: describe routing), so it never participates in equality.
+    policy: str = dataclasses.field(default="security_3rd", compare=False)
 
     @property
     def num_reachable(self) -> int:
@@ -291,7 +295,14 @@ def compute_tie_keys(
 def compute_dest_routing(
     graph: ASGraph, dest: int, compiled: CompiledGraph | None = None
 ) -> DestRouting:
-    """Build the :class:`DestRouting` structure for ``dest`` (dense index)."""
+    """Build the :class:`DestRouting` structure for ``dest`` (dense index).
+
+    This is the state-independent builder for rankings with SecP last
+    (``security_3rd``, the Appendix-A default).  Other rankings go
+    through :meth:`repro.routing.policy.RoutingPolicy.build_many`,
+    which dispatches to this function, the §8.3 variants, or the
+    state-dependent fixpoint builder as appropriate.
+    """
     cg = compiled or CompiledGraph.from_graph(graph)
     info = route_classes_and_lengths(graph, dest, cg)
     cls, lengths = info.cls, info.lengths

@@ -125,3 +125,17 @@ class TestSweepResume:
     def test_resume_requires_journal(self):
         with pytest.raises(SystemExit, match="--journal"):
             main(["sweep", "--n", "60", "--resume"])
+
+    def test_resume_under_different_policy_is_one_line_error(self, tmp_path):
+        """The policy-mismatch SchemaError surfaces as a clean SystemExit
+        message naming both policies, not a traceback."""
+        journal = tmp_path / "sweep.jsonl"
+        assert main([
+            "sweep", "--n", "60", "--policy", "security_2nd",
+            "--journal", str(journal),
+        ]) == 0
+        with pytest.raises(SystemExit, match="security_2nd.*security_1st"):
+            main([
+                "sweep", "--n", "60", "--policy", "security_1st",
+                "--journal", str(journal), "--resume",
+            ])

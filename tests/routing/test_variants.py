@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.routing.cache import POLICIES, RoutingCache
+from repro.routing.cache import RoutingCache
 from repro.routing.fast_tree import compute_tree, subtree_weights
-from repro.routing.policy import RouteClass
+from repro.routing.policy import RouteClass, available_policies, get_policy
 from repro.routing.variants import compute_dest_routing_sp_first, restrict_to_primary
 from repro.topology.graph import ASGraph
 
@@ -89,10 +89,17 @@ class TestSpFirst:
 
     def test_policy_registry(self, small_graph):
         cache = RoutingCache(small_graph, policy="sp-first")
+        assert cache.policy_name == "sp_first"
         assert cache.dest_routing(0).dest == 0
         with pytest.raises(ValueError):
             RoutingCache(small_graph, policy="nonsense")
-        assert set(POLICIES) >= {"gao-rexford", "sp-first"}
+        assert set(available_policies()) >= {
+            "security_3rd", "security_2nd", "security_1st",
+            "sp_first", "sticky_primaries",
+        }
+        # aliases of the pre-registry POLICIES dict keep resolving
+        assert get_policy("gao-rexford").name == "security_3rd"
+        assert get_policy("sp-first").name == "sp_first"
 
 
 class TestStickyPrimaries:
