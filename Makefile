@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test test-resilience bench bench-json bench-compare bench-large examples lint-clean
+.PHONY: install test test-resilience bench bench-json bench-compare bench-large examples \
+	lint lint-fix typecheck
 
 # Compare the two newest BENCH_*.json snapshots (override with
 # BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
@@ -43,6 +44,23 @@ bench-compare:
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only
+
+# Static analysis: the project-invariant linter always runs (stdlib
+# only); ruff piggybacks when installed, reading its config from
+# pyproject.toml so local runs and CI check exactly the same thing.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.analysis src scripts benchmarks
+	@if command -v ruff >/dev/null 2>&1; then ruff check src scripts tests benchmarks examples; \
+	else echo "ruff not installed (pip install -e '.[dev]'); skipped"; fi
+
+lint-fix:
+	@if command -v ruff >/dev/null 2>&1; then ruff check --fix src scripts tests benchmarks examples; \
+	else echo "ruff not installed (pip install -e '.[dev]'); nothing to fix with"; fi
+
+# mypy strict modules + per-bucket error-count ratchet; loud no-op
+# skip when mypy is absent locally (CI passes --require).
+typecheck:
+	python scripts/typecheck_ratchet.py
 
 examples:
 	python examples/quickstart.py 400

@@ -31,7 +31,7 @@ def test_kernel_warm_serial(benchmark):
     # enough rounds that the min statistic survives scheduler noise on
     # shared machines (see scripts/bench_compare.py --stat)
     cache = benchmark.pedantic(warm, rounds=8, iterations=1)
-    assert len(cache._routing) == cache.graph.n
+    assert cache.stats().cached == cache.graph.n
 
 
 def test_kernel_warm_processes(benchmark):
@@ -41,4 +41,4 @@ def test_kernel_warm_processes(benchmark):
         return cache
 
     cache = benchmark.pedantic(warm, rounds=8, iterations=1)
-    assert len(cache._routing) == cache.graph.n
+    assert cache.stats().cached == cache.graph.n

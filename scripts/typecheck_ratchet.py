@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""mypy error-count ratchet: the type-error count can only go DOWN.
+
+The package ships ``py.typed`` but was never type-checked; retrofitting
+annotations everywhere at once is not realistic.  The ratchet makes the
+transition monotonic instead:
+
+* fully-annotated modules (``repro.runtime``, ``repro.telemetry``,
+  ``repro.analysis``, ``repro.routing.policy``) are checked with strict
+  flags via the ``[[tool.mypy.overrides]]`` table in pyproject.toml and
+  must stay at ZERO errors;
+* every other top-level ``repro.*`` bucket has a committed error-count
+  ceiling in ``scripts/typecheck_baseline.json``.  Exceeding a ceiling
+  fails CI; dropping below it prints a reminder to tighten the baseline
+  with ``--update`` (which refuses to *raise* a ceiling unless
+  ``--force``d, so the ratchet never silently loosens).
+
+Exit codes: 0 ok (including the mypy-not-installed local skip),
+1 ratchet violation, 2 tool/usage failure (or mypy missing under
+``--require``, the CI mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "scripts" / "typecheck_baseline.json"
+BASELINE_FORMAT = "repro.typecheck-ratchet/1"
+
+_ERROR_LINE = re.compile(r"^(?P<path>[^:\n]+\.py):\d+(?::\d+)?: error:")
+
+
+def run_mypy() -> tuple[list[str], int]:
+    """Run mypy over the package; returns (stdout lines, returncode)."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(REPO_ROOT / "pyproject.toml"),
+        "src/repro",
+    ]
+    proc = subprocess.run(
+        cmd, cwd=REPO_ROOT, capture_output=True, text=True, check=False
+    )
+    if proc.returncode not in (0, 1):  # 2+ = mypy itself blew up
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise RuntimeError(f"mypy failed with exit code {proc.returncode}")
+    return proc.stdout.splitlines(), proc.returncode
+
+
+def bucket_for_path(path: str) -> str:
+    """``src/repro/routing/policy.py`` -> ``repro.routing``."""
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        idx = parts.index("repro")
+        tail = parts[idx + 1 :]
+        if not tail or tail[0] == "__init__.py":
+            return "repro"
+        return "repro." + tail[0].removesuffix(".py")
+    return "<outside-package>"
+
+
+def count_errors(lines: list[str]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for line in lines:
+        match = _ERROR_LINE.match(line)
+        if match:
+            bucket = bucket_for_path(match.group("path"))
+            counts[bucket] = counts.get(bucket, 0) + 1
+    return counts
+
+
+def load_baseline() -> dict:
+    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    if payload.get("format") != BASELINE_FORMAT:
+        raise RuntimeError(
+            f"{BASELINE_PATH}: unrecognised format {payload.get('format')!r}"
+        )
+    return payload
+
+
+def write_baseline(payload: dict) -> None:
+    # Route through the project's atomic writer (scripts are linted
+    # too); src/ is put on sys.path here, inside the function, so the
+    # script stays importable without PYTHONPATH.
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.runtime.atomic import atomic_write_text
+
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
+
+
+def check(counts: dict[str, int], baseline: dict, update: bool, force: bool) -> int:
+    ceilings: dict[str, int] = dict(baseline["ceilings"])
+    strict = set(baseline.get("strict_modules", ()))
+    buckets = sorted(set(ceilings) | set(counts))
+
+    violations: list[str] = []
+    tightenable: list[str] = []
+    width = max(len(b) for b in buckets) if buckets else 10
+    print(f"{'bucket':<{width}}  errors  ceiling  status")
+    for bucket in buckets:
+        observed = counts.get(bucket, 0)
+        ceiling = ceilings.get(bucket, 0)  # new buckets must be clean
+        if observed > ceiling:
+            status = "FAIL (count went up)"
+            violations.append(
+                f"{bucket}: {observed} errors > ceiling {ceiling}"
+                + (" [strict module: must stay at 0]" if bucket in strict else "")
+            )
+        elif observed < ceiling:
+            status = "ok (tighten with --update)"
+            tightenable.append(bucket)
+        else:
+            status = "ok"
+        print(f"{bucket:<{width}}  {observed:>6}  {ceiling:>7}  {status}")
+
+    if update:
+        raised = [
+            b for b in counts if counts.get(b, 0) > ceilings.get(b, 0)
+        ]
+        if raised and not force:
+            print(
+                "refusing to RAISE ceilings for: "
+                + ", ".join(sorted(raised))
+                + " (the ratchet only goes down; use --force to override)"
+            )
+            return 1
+        new_ceilings = {b: counts.get(b, 0) for b in buckets if counts.get(b, 0)}
+        baseline["ceilings"] = dict(sorted(new_ceilings.items()))
+        write_baseline(baseline)
+        print(f"baseline updated: {BASELINE_PATH.relative_to(REPO_ROOT)}")
+        return 0
+
+    if violations:
+        print("\ntypecheck ratchet FAILED:")
+        for v in violations:
+            print(f"  {v}")
+        print("fix the new type errors (or, for a deliberate exception, annotate")
+        print("with a scoped `# type: ignore[code]` — never raise the ceiling).")
+        return 1
+    if tightenable:
+        print(
+            "\nnote: error counts dropped below their ceilings for "
+            + ", ".join(tightenable)
+            + "; run `python scripts/typecheck_ratchet.py --update` to lock it in."
+        )
+    print("typecheck ratchet OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) when mypy is not installed — CI mode; the "
+        "default is a loud local skip",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with the observed (lower) counts",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow --update to raise ceilings (escape hatch; leaves a diff)",
+    )
+    args = parser.parse_args(argv)
+
+    have_mypy = (
+        shutil.which("mypy") is not None
+        or subprocess.run(
+            [sys.executable, "-c", "import mypy"], capture_output=True, check=False
+        ).returncode
+        == 0
+    )
+    if not have_mypy:
+        msg = "mypy is not installed (pip install -e '.[dev]')"
+        if args.require:
+            print(f"typecheck ratchet: {msg}", file=sys.stderr)
+            return 2
+        print(f"typecheck ratchet: SKIPPED — {msg}")
+        return 0
+
+    try:
+        baseline = load_baseline()
+        lines, _ = run_mypy()
+    except RuntimeError as exc:
+        print(f"typecheck ratchet: {exc}", file=sys.stderr)
+        return 2
+    return check(count_errors(lines), baseline, update=args.update, force=args.force)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — same entry point as ``sbgp-lint``."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

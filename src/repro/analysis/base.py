@@ -1,0 +1,184 @@
+"""Rule framework: file context, import resolution, single-pass walker.
+
+Rules are visitors: a :class:`Rule` subclass declares a ``code``, a
+``name`` and a ``rationale``, and implements any of the ``visit_*``
+hooks (``visit_call``, ``visit_attribute``, ``visit_name``,
+``visit_classdef``, ``visit_excepthandler``, ``visit_assign``).  The
+:class:`Walker` makes ONE pass over the AST and dispatches each node to
+every subscribed rule, so adding rules does not add tree walks.
+
+The walker also maintains the shared analysis state rules need:
+
+* an import-alias map, so ``np.random.rand`` resolves to
+  ``numpy.random.rand`` whatever the module was imported as;
+* the enclosing-function depth, so rules can distinguish import-time
+  execution (module and class bodies) from call-time execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionTable
+
+
+class FileContext:
+    """Everything rules may consult about the file being linted."""
+
+    def __init__(self, path: str | Path, source: str, module: str | None) -> None:
+        self.path = str(path)
+        #: Dotted module path (``repro.routing.cache``) when the file
+        #: lives under a ``repro`` package directory, else None.  Rules
+        #: use it for package-scoped exemptions; None gets the strict
+        #: (no-exemption) treatment.
+        self.module = module
+        self.source = source
+        self.suppressions = SuppressionTable.from_source(source)
+        self.findings: list[Finding] = []
+        #: Maintained by the walker: local name -> imported dotted path.
+        self.aliases: dict[str, str] = {}
+        #: Maintained by the walker: how many FunctionDef/Lambda bodies
+        #: enclose the node currently being visited.  0 == import time.
+        self.function_depth = 0
+
+    # -- queries -------------------------------------------------------
+
+    def in_package(self, package: str) -> bool:
+        """True when this file is ``package`` or lives under it."""
+        return self.module is not None and (
+            self.module == package or self.module.startswith(package + ".")
+        )
+
+    def is_module(self, module: str) -> bool:
+        return self.module == module
+
+    def at_import_time(self) -> bool:
+        """True while visiting code that runs when the module is imported."""
+        return self.function_depth == 0
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a Name/Attribute chain, through import aliases.
+
+        ``np.random.rand`` -> ``numpy.random.rand`` when ``np`` was
+        bound by ``import numpy as np``.  Unimported bare names resolve
+        to themselves; anything rooted in a non-Name expression
+        (``self.x.y``, ``f().z``) resolves to None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str | None = None) -> None:
+        """Record a finding at ``node`` unless suppressed on its line."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if self.suppressions.is_suppressed(line, rule.code):
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col,
+                code=rule.code,
+                message=message if message is not None else rule.message,
+                rule=rule.name,
+            )
+        )
+
+
+class Rule:
+    """Base class for one lint rule (one invariant, one code)."""
+
+    code: str = "RPR999"
+    name: str = "abstract-rule"
+    #: One-line finding text (rules may override per-site via report()).
+    message: str = ""
+    #: Why the invariant exists — surfaced by ``--list-rules`` and DESIGN.md.
+    rationale: str = ""
+
+    # Hook signatures (all optional on subclasses):
+    #   visit_call(ctx, node: ast.Call)
+    #   visit_attribute(ctx, node: ast.Attribute)
+    #   visit_name(ctx, node: ast.Name)
+    #   visit_classdef(ctx, node: ast.ClassDef)
+    #   visit_excepthandler(ctx, node: ast.ExceptHandler)
+    #   visit_assign(ctx, node: ast.Assign)
+
+
+_HOOKS: dict[type, str] = {
+    ast.Call: "visit_call",
+    ast.Attribute: "visit_attribute",
+    ast.Name: "visit_name",
+    ast.ClassDef: "visit_classdef",
+    ast.ExceptHandler: "visit_excepthandler",
+    ast.Assign: "visit_assign",
+}
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class Walker(ast.NodeVisitor):
+    """Single tree pass dispatching nodes to every subscribed rule."""
+
+    def __init__(self, ctx: FileContext, rules: list[Rule]) -> None:
+        self.ctx = ctx
+        self._dispatch: dict[type, list[Callable[[FileContext, ast.AST], None]]] = {}
+        for rule in rules:
+            for node_type, hook in _HOOKS.items():
+                method = getattr(rule, hook, None)
+                if method is not None:
+                    self._dispatch.setdefault(node_type, []).append(method)
+
+    def run(self, tree: ast.AST) -> None:
+        self.visit(tree)
+
+    # Import tracking happens before dispatch so a rule visiting the
+    # Import node itself still sees the alias registered.
+
+    def _register_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.partition(".")[0]
+            target = alias.name if alias.asname else alias.name.partition(".")[0]
+            self.ctx.aliases[local] = target
+
+    def _register_import_from(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level:  # best-effort relative-import anchoring
+            if self.ctx.module:
+                anchor = self.ctx.module.rsplit(".", node.level)[0]
+                module = f"{anchor}.{module}" if module else anchor
+            elif not module:
+                return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.ctx.aliases[local] = f"{module}.{alias.name}" if module else alias.name
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            self._register_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            self._register_import_from(node)
+
+        for method in self._dispatch.get(type(node), ()):
+            method(self.ctx, node)
+
+        if isinstance(node, _FUNCTION_NODES):
+            self.ctx.function_depth += 1
+            try:
+                self.generic_visit(node)
+            finally:
+                self.ctx.function_depth -= 1
+        else:
+            self.generic_visit(node)

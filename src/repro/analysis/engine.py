@@ -1,0 +1,123 @@
+"""File discovery, per-file linting, and result aggregation."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.base import FileContext, Rule, Walker
+from repro.analysis.findings import PARSE_ERROR, UNUSED_SUPPRESSION, Finding
+from repro.analysis.rules import ALL_RULES
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".venv"})
+
+
+@dataclasses.dataclass(frozen=True)
+class LintResult:
+    """All findings from one lint run, plus coverage accounting."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    seen.add(sub)
+        elif path.suffix == ".py":
+            seen.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(seen)
+
+
+def module_for_path(path: str | Path) -> str | None:
+    """Dotted module path when ``path`` sits under a ``repro`` package.
+
+    Package-scoped rule exemptions key off this; files outside the
+    package (scripts/, benchmarks/) get None and therefore the strict,
+    no-exemption treatment.
+    """
+    parts = Path(path).resolve().parts
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    mod_parts = list(parts[idx:])
+    mod_parts[-1] = mod_parts[-1].removesuffix(".py")
+    if mod_parts[-1] == "__init__":
+        mod_parts.pop()
+    return ".".join(mod_parts)
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    rules: list[Rule] | None = None,
+    module: str | None = None,
+) -> list[Finding]:
+    """Lint one source string (the unit the golden fixture tests drive).
+
+    ``module`` overrides the path-derived module identity so fixtures
+    can exercise package-scoped exemptions from arbitrary locations.
+    """
+    active = list(ALL_RULES) if rules is None else rules
+    ctx = FileContext(path, source, module)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = (getattr(exc, "offset", None) or 0) + 1
+        return [
+            Finding(
+                path=str(path),
+                line=line,
+                col=col,
+                code=PARSE_ERROR,
+                message=f"file could not be parsed: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                rule="parse-error",
+            )
+        ]
+    Walker(ctx, active).run(tree)
+
+    active_codes = frozenset(r.code for r in active)
+    for line, code in ctx.suppressions.unused(active_codes):
+        ctx.findings.append(
+            Finding(
+                path=str(path),
+                line=line,
+                col=1,
+                code=UNUSED_SUPPRESSION,
+                message=(
+                    f"unused suppression: {code} does not fire on this line; "
+                    "remove the waiver so it cannot mask a future violation"
+                ),
+                rule="unused-suppression",
+            )
+        )
+    return sorted(ctx.findings)
+
+
+def lint_file(path: str | Path, rules: list[Rule] | None = None) -> list[Finding]:
+    """Lint one file from disk (module identity derived from its path)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=path, rules=rules, module=module_for_path(path))
+
+
+def lint_paths(paths: Sequence[str | Path], rules: list[Rule] | None = None) -> LintResult:
+    """Lint every .py file reachable from ``paths``."""
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        findings.extend(lint_file(path, rules=rules))
+    return LintResult(findings=tuple(sorted(findings)), files_checked=len(files))

@@ -1,0 +1,49 @@
+"""Finding records emitted by the linter.
+
+A :class:`Finding` is one violation at one source location.  Findings
+sort by (path, line, col, code) so output is deterministic regardless
+of rule registration order, and serialise to a stable JSON shape
+(``repro.lint/1``) that the golden tests pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Code reported when a file cannot be parsed at all.  Not a Rule —
+#: emitted by the engine, but suppressable/selectable like any code.
+PARSE_ERROR = "RPR000"
+
+#: Code reported for a ``# repro-lint: disable=`` comment that silenced
+#: nothing.  Emitted by the engine after all rules have run.
+UNUSED_SUPPRESSION = "RPR010"
+
+#: JSON output format marker (bump on breaking schema changes).
+JSON_FORMAT = "repro.lint/1"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location (1-based line/col)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    rule: str
+
+    def to_json(self) -> dict[str, object]:
+        """Stable JSON shape; keys are part of the ``repro.lint/1`` schema."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        """``path:line:col: CODE message`` — clickable in most terminals."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

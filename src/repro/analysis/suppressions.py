@@ -1,0 +1,82 @@
+"""Per-line ``# repro-lint: disable=CODE`` suppression comments.
+
+A suppression applies to findings anchored on the same physical line as
+the comment (for a multi-line statement, rules anchor on the statement's
+first line — put the comment there).  Several codes may be listed,
+comma-separated, and free text after the code list is allowed so the
+*reason* for the waiver can live next to it::
+
+    fh = open(path, "a")  # repro-lint: disable=RPR001 -- fsynced append journal
+
+Suppressions are tracked: the engine asks :meth:`SuppressionTable.unused`
+after all rules have run and reports stale waivers as ``RPR010``
+findings, so a suppression cannot outlive the violation it excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
+_CODE = re.compile(r"[A-Z]{3}\d{3}")
+
+
+class SuppressionTable:
+    """Suppression comments for one file, with usage tracking."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._used: set[tuple[int, str]] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        """Scan ``source`` for directives via the tokenizer.
+
+        Tokenizing (rather than regexing raw lines) keeps directives
+        inside string literals from registering as real suppressions.
+        Files the tokenizer rejects fall back to a plain line scan —
+        the AST parse will surface the real syntax problem separately.
+        """
+        table = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            for lineno, text in enumerate(source.splitlines(), start=1):
+                table._scan_text(lineno, text)
+            return table
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                table._scan_text(tok.start[0], tok.string)
+        return table
+
+    def _scan_text(self, lineno: int, text: str) -> None:
+        match = _DIRECTIVE.search(text)
+        if match:
+            codes = set(_CODE.findall(match.group(1)))
+            self._by_line.setdefault(lineno, set()).update(codes)
+
+    def codes_on_line(self, line: int) -> frozenset[str]:
+        return frozenset(self._by_line.get(line, ()))
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is waived on ``line``; marks the waiver used."""
+        if code in self._by_line.get(line, ()):
+            self._used.add((line, code))
+            return True
+        return False
+
+    def unused(self, active_codes: frozenset[str]) -> list[tuple[int, str]]:
+        """(line, code) pairs that silenced nothing, sorted.
+
+        Restricted to ``active_codes`` so running a subset of rules
+        (``--select``) does not misreport the other waivers as stale.
+        """
+        stale = [
+            (line, code)
+            for line, codes in self._by_line.items()
+            for code in codes
+            if code in active_codes and (line, code) not in self._used
+        ]
+        return sorted(stale)

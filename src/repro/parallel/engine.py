@@ -157,12 +157,12 @@ def _child_main(conn, fn, pairs) -> None:
     except BaseException as exc:  # report, never hang the parent
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}", None))
-        except Exception:
+        except OSError:  # parent gone / pipe closed: nothing left to report to
             pass
     finally:
         try:
             conn.close()
-        except Exception:
+        except OSError:
             pass
 
 
@@ -211,7 +211,7 @@ class _Worker:
                 self.process.join(timeout=1.0)
         try:
             self.conn.close()
-        except Exception:
+        except OSError:
             pass
 
 

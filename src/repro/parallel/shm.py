@@ -100,7 +100,7 @@ def ensure_tracker_running() -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-    except Exception:  # pragma: no cover - best effort only
+    except (ImportError, OSError):  # pragma: no cover - best effort only
         pass
 
 

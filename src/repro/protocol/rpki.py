@@ -37,7 +37,10 @@ class ROA:
     asn: int
 
 
-class RPKIError(Exception):
+# Root of the RPKI error family; stays with the RPKI model because the
+# protocol package has no errors.py and every subclass is defined (and
+# raised) in this file only.
+class RPKIError(Exception):  # repro-lint: disable=RPR008
     """Base error for RPKI operations."""
 
 

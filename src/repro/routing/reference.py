@@ -36,7 +36,10 @@ class SelectedRoute:
         return len(self.path) - 1
 
 
-class ConvergenceError(RuntimeError):
+# Lives here rather than an errors.py because non-convergence is a
+# *result* of BGP dynamics under security-1st rankings (Lychev et al.),
+# raised and documented by the simulators in this module.
+class ConvergenceError(RuntimeError):  # repro-lint: disable=RPR008
     """The reference simulator failed to reach a fixpoint."""
 
 

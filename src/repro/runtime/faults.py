@@ -19,7 +19,10 @@ from pathlib import Path
 from typing import Callable, Collection
 
 
-class FaultInjected(RuntimeError):
+# Deliberately NOT in errors.py: this is a test instrument, not part of
+# the error contract callers handle — keeping it beside its injector
+# stops production code from importing it by accident.
+class FaultInjected(RuntimeError):  # repro-lint: disable=RPR008
     """The exception :class:`FaultInjector` raises in ``raise`` mode."""
 
 

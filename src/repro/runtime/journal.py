@@ -126,7 +126,10 @@ class RunJournal:
         return len(lines) - kept
 
     def _append_line(self, line: str) -> None:
-        with open(self.path, "a", encoding="utf-8") as fh:
+        # The journal is the one sanctioned non-atomic writer: an
+        # fsynced append is the point (atomic replace would rewrite the
+        # whole file per record), and repair() handles the torn tail.
+        with open(self.path, "a", encoding="utf-8") as fh:  # repro-lint: disable=RPR001
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())

@@ -20,6 +20,7 @@ import io
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from repro.runtime.atomic import atomic_write_text
 from repro.topology.errors import GraphFormatError
 from repro.topology.graph import ASGraph
 from repro.topology.relationships import (
@@ -92,27 +93,25 @@ def _parse(fh: TextIO, cps: set[int]) -> ASGraph:
 
 
 def dump_as_rel(graph: ASGraph, target: str | Path | TextIO) -> None:
-    """Write an AS graph in ``as-rel`` format (with ``# cp:`` markers)."""
-    close = False
+    """Write an AS graph in ``as-rel`` format (with ``# cp:`` markers).
+
+    Path targets are written atomically (temp + fsync + replace): a
+    crash mid-dump leaves the previous snapshot intact, never a torn
+    half-graph that would parse as a smaller topology.
+    """
     if isinstance(target, (str, Path)):
-        fh: TextIO = open(target, "w", encoding="utf-8")
-        close = True
+        atomic_write_text(target, dumps_as_rel(graph))
     else:
-        fh = target
-    try:
-        fh.write("# as-rel written by repro.topology.serialization\n")
-        for asn in sorted(graph.cp_asns):
-            fh.write(f"# cp: {asn}\n")
-        for a, b, rel in graph.edges():
-            code = CAIDA_PROVIDER_TO_CUSTOMER if rel is Relationship.CUSTOMER else CAIDA_PEER_TO_PEER
-            fh.write(f"{a}|{b}|{code}\n")
-    finally:
-        if close:
-            fh.close()
+        target.write(dumps_as_rel(graph))
 
 
 def dumps_as_rel(graph: ASGraph) -> str:
     """Serialize an AS graph to an ``as-rel`` string."""
     buf = io.StringIO()
-    dump_as_rel(graph, buf)
+    buf.write("# as-rel written by repro.topology.serialization\n")
+    for asn in sorted(graph.cp_asns):
+        buf.write(f"# cp: {asn}\n")
+    for a, b, rel in graph.edges():
+        code = CAIDA_PROVIDER_TO_CUSTOMER if rel is Relationship.CUSTOMER else CAIDA_PEER_TO_PEER
+        buf.write(f"{a}|{b}|{code}\n")
     return buf.getvalue()

@@ -1,0 +1,49 @@
+"""Golden fixture for RPR001 (non-atomic write): positive + waived + clean.
+
+Lines carrying ``expect: CODE`` markers must produce exactly that
+finding; every other line must stay silent.  Never executed — parsed
+only by tests/analysis/test_fixtures.py.
+"""
+
+from pathlib import Path
+
+PATH = "out.txt"
+
+
+def bad_write() -> None:
+    fh = open(PATH, "w", encoding="utf-8")  # expect: RPR001
+    fh.close()
+
+
+def bad_keyword_append() -> None:
+    with open(PATH, mode="a") as fh:  # expect: RPR001
+        fh.write("x")
+
+
+def bad_exclusive_create() -> None:
+    with open(PATH, "x") as fh:  # expect: RPR001
+        fh.write("x")
+
+
+def bad_path_write_text() -> None:
+    Path(PATH).write_text("x", encoding="utf-8")  # expect: RPR001
+
+
+def bad_path_open_write() -> None:
+    with Path(PATH).open("w") as fh:  # expect: RPR001
+        fh.write("x")
+
+
+def waived_write() -> None:
+    fh = open(PATH, "w")  # repro-lint: disable=RPR001 -- fixture waiver
+    fh.close()
+
+
+def clean_read() -> str:
+    with open(PATH, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def clean_explicit_read_mode() -> str:
+    with open(PATH, "r", encoding="utf-8") as fh:
+        return fh.read()

@@ -1,0 +1,40 @@
+"""Golden fixture for RPR002 (unseeded RNG): positive + waived + clean."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_global_draw() -> float:
+    return float(np.random.rand())  # expect: RPR002
+
+
+def bad_global_seed() -> None:
+    np.random.seed(7)  # expect: RPR002
+
+
+def bad_legacy_state() -> object:
+    return np.random.RandomState(0)  # expect: RPR002
+
+
+def bad_stdlib_draw() -> int:
+    return random.randint(0, 10)  # expect: RPR002
+
+
+def waived_draw() -> float:
+    return float(np.random.rand())  # repro-lint: disable=RPR002 -- fixture waiver
+
+
+def clean_generator(seed: int) -> float:
+    rng = default_rng(seed)
+    return float(rng.random())
+
+
+def clean_aliased_generator(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform())
+
+
+def clean_stdlib_instance(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,28 @@
+"""Golden fixture for RPR004 (policy-registry bypass): positive + waived + clean."""
+
+import repro.routing.policy as policy_mod
+from repro.routing.policy import RoutingPolicy, available_policies, get_policy
+
+
+def bad_construct() -> object:
+    return RoutingPolicy(name="custom", ranking=("LP", "SP", "SecP"))  # expect: RPR004
+
+
+def bad_qualified_construct() -> object:
+    return policy_mod.RoutingPolicy(name="custom", ranking=())  # expect: RPR004
+
+
+def bad_registry_peek() -> dict:
+    return policy_mod._REGISTRY  # expect: RPR004
+
+
+def waived_construct() -> object:
+    return RoutingPolicy(name="x", ranking=())  # repro-lint: disable=RPR004 -- fixture waiver
+
+
+def clean_lookup() -> object:
+    return get_policy("security_3rd")
+
+
+def clean_enumerate() -> list:
+    return available_policies()

@@ -1,0 +1,28 @@
+"""Golden fixture for RPR005 (pickle/deepcopy of routing structures)."""
+
+import copy
+import pickle
+
+
+def bad_pickle_tree(tree) -> bytes:
+    return pickle.dumps(tree)  # expect: RPR005
+
+
+def bad_pickle_to_file(arena, fh) -> None:
+    pickle.dump(arena, fh)  # expect: RPR005
+
+
+def bad_deepcopy_routing(dest_routing) -> object:
+    return copy.deepcopy(dest_routing)  # expect: RPR005
+
+
+def waived_pickle(tree) -> bytes:
+    return pickle.dumps(tree)  # repro-lint: disable=RPR005 -- fixture waiver
+
+
+def clean_plain_payload(payload: dict) -> bytes:
+    return pickle.dumps(payload)
+
+
+def clean_shallow_copy(config: dict) -> dict:
+    return dict(config)

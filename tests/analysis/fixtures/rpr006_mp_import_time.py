@@ -1,0 +1,16 @@
+"""Golden fixture for RPR006 (import-time multiprocessing primitives)."""
+
+import multiprocessing
+from multiprocessing import Queue
+
+LOCK = multiprocessing.Lock()  # expect: RPR006
+RESULTS = Queue()  # expect: RPR006
+WAIVED = multiprocessing.Lock()  # repro-lint: disable=RPR006 -- fixture waiver
+
+
+def clean_call_time_lock() -> object:
+    return multiprocessing.Lock()
+
+
+def clean_metadata() -> list:
+    return multiprocessing.get_all_start_methods()

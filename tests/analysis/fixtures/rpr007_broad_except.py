@@ -1,0 +1,51 @@
+"""Golden fixture for RPR007 (broad except without re-raise/telemetry)."""
+
+
+def bad_swallow(work) -> int:
+    try:
+        return work()
+    except Exception:  # expect: RPR007
+        return 0
+
+
+def bad_bare(work) -> int:
+    try:
+        return work()
+    except:  # expect: RPR007
+        return 0
+
+
+def bad_tuple_hiding_broad(work) -> int:
+    try:
+        return work()
+    except (ValueError, Exception):  # expect: RPR007
+        return 0
+
+
+def waived_swallow(work) -> int:
+    try:
+        return work()
+    except Exception:  # repro-lint: disable=RPR007 -- fixture waiver
+        return 0
+
+
+def clean_reraise(work) -> int:
+    try:
+        return work()
+    except Exception:
+        raise
+
+
+def clean_forwarded(work, log) -> int:
+    try:
+        return work()
+    except Exception as exc:
+        log.warning("work failed: %s", exc)
+        return 0
+
+
+def clean_narrow(work) -> int:
+    try:
+        return work()
+    except (ValueError, KeyError):
+        return 0

@@ -1,0 +1,25 @@
+"""Golden fixture for RPR008 (exception hierarchy rooted outside errors.py)."""
+
+
+class BadRootError(Exception):  # expect: RPR008
+    pass
+
+
+class BadRuntimeRoot(RuntimeError):  # expect: RPR008
+    pass
+
+
+class WaivedError(Exception):  # repro-lint: disable=RPR008 -- fixture waiver
+    pass
+
+
+class CleanDerived(BadRootError):
+    """Extending a project exception is fine anywhere."""
+
+
+class CleanMixedBases(ValueError, BadRootError):
+    """A builtin base is fine when a project exception anchors the class."""
+
+
+class CleanPlain:
+    pass

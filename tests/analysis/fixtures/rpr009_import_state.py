@@ -1,0 +1,19 @@
+"""Golden fixture for RPR009 (import-time global state mutation)."""
+
+import logging
+import os
+import sys
+import warnings
+
+sys.path.insert(0, "src")  # expect: RPR009
+os.environ["REPRO_DEBUG"] = "1"  # expect: RPR009
+warnings.filterwarnings("ignore")  # expect: RPR009
+logging.basicConfig(level=logging.INFO)  # expect: RPR009
+os.chdir("/tmp")  # repro-lint: disable=RPR009 -- fixture waiver
+
+LOG = logging.getLogger(__name__)
+
+
+def clean_mutation_at_call_time() -> None:
+    os.environ["REPRO_DEBUG"] = "0"
+    warnings.filterwarnings("default")

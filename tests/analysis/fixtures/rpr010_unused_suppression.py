@@ -1,0 +1,8 @@
+"""Golden fixture for RPR010 (a suppression that silences nothing)."""
+
+VALUE = 1  # repro-lint: disable=RPR001 -- stale waiver; expect: RPR010
+
+
+def clean_used_waiver() -> None:
+    fh = open("out.txt", "w")  # repro-lint: disable=RPR001 -- used, so no RPR010
+    fh.close()
