@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test test-resilience bench bench-json bench-compare bench-large examples \
-	lint lint-fix typecheck
+.PHONY: install test test-resilience test-chaos bench bench-json bench-compare \
+	bench-large examples lint lint-fix typecheck
 
 # Compare the two newest BENCH_*.json snapshots (override with
 # BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
@@ -20,6 +20,11 @@ test:
 # Fault-injection and checkpoint/resume tests only (the resilience layer).
 test-resilience:
 	pytest tests/runtime tests/parallel/test_faults.py tests/experiments/test_resume.py
+
+# The chaos suite: combined kill+hang+slow faults under deadlines and
+# memory budgets, plus the degradation-ladder acceptance tests.
+test-chaos:
+	pytest tests/runtime/test_guard_chaos.py tests/parallel/test_faults.py -v
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,95 @@
+"""Kernel ablation: runtime-guard overhead on the hot paths.
+
+The guard's checks ride every round and projection (deadline probes at
+round boundaries, a batch-size plan per kernel call).  These pairs pin
+the cost of having it installed: the ``guard_off`` variants run under
+the default :data:`~repro.runtime.guard.NULL_GUARD`, the ``guard_on``
+variants under a permissive guard (huge budget, day-long deadline) so
+every check executes but no rung is ever taken.  The paired names land
+in the same ``BENCH_*_guard.json`` snapshot, so ``bench_compare.py``
+can diff them; the on/off gap is the overhead, pinned below 2%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProjectionEngine, UtilityModel
+from repro.core.engine import compute_round_data
+from repro.core.projection import project_flip
+from repro.core.state import DeploymentState, StateDeriver
+from repro.runtime.guard import (
+    NULL_GUARD,
+    Deadline,
+    MemoryBudget,
+    RuntimeGuard,
+    use_guard,
+)
+
+
+@pytest.fixture(scope="module")
+def game_state(env):
+    deriver = StateDeriver(env.graph, compiled=env.cache.compiled)
+    adopters = frozenset(env.graph.index(a) for a in env.case_study_adopters())
+    state = DeploymentState.initial(adopters)
+    rd = compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    isp = next(i for i in env.graph.isp_indices if i not in adopters)
+    return deriver, state, rd, isp
+
+
+@pytest.fixture()
+def permissive_guard():
+    """A guard whose checks all run but never trigger a rung."""
+    guard = RuntimeGuard(
+        deadline=Deadline(86_400.0), memory=MemoryBudget("1TiB")
+    )
+    with use_guard(guard):
+        yield guard
+    assert guard.ladder.rungs_taken() == {}  # permissive means permissive
+
+
+def test_kernel_round_guard_off(benchmark, env, game_state):
+    deriver, state, _rd, _isp = game_state
+    rd = benchmark(
+        lambda: compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    )
+    assert rd.utilities.sum() > 0
+
+
+def test_kernel_round_guard_on(benchmark, env, game_state, permissive_guard):
+    deriver, state, _rd, _isp = game_state
+    rd = benchmark(
+        lambda: compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    )
+    assert rd.utilities.sum() > 0
+
+
+def test_kernel_projection_guard_off(benchmark, env, game_state):
+    deriver, _state, rd, isp = game_state
+    proj = benchmark(
+        lambda: project_flip(
+            env.cache, deriver, rd, isp, True, UtilityModel.OUTGOING,
+            ProjectionEngine.INCREMENTAL,
+        )
+    )
+    assert proj.utility >= 0
+
+
+def test_kernel_projection_guard_on(benchmark, env, game_state, permissive_guard):
+    deriver, _state, rd, isp = game_state
+    proj = benchmark(
+        lambda: project_flip(
+            env.cache, deriver, rd, isp, True, UtilityModel.OUTGOING,
+            ProjectionEngine.INCREMENTAL,
+        )
+    )
+    assert proj.utility >= 0
+
+
+def test_kernel_guard_results_identical(env, game_state, permissive_guard):
+    """The guard must never change what the kernels compute."""
+    deriver, state, _rd, _isp = game_state
+    guarded = compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    with use_guard(NULL_GUARD):  # shadow the permissive guard
+        bare = compute_round_data(env.cache, deriver, state, UtilityModel.OUTGOING)
+    assert (guarded.utilities == bare.utilities).all()

@@ -420,6 +420,38 @@ class ImportTimeStateMutation(Rule):
                     ctx.report(self, node)
 
 
+class UnboundedBlockingCall(Rule):
+    code = "RPR011"
+    name = "unbounded-blocking-call"
+    message = (
+        "blocking call without a timeout; pass timeout= (or poll first) so a "
+        "dead worker or full pipe cannot hang the run past its deadline"
+    )
+    rationale = (
+        "The runtime guard can only stop a run at checkpoints it reaches; a "
+        ".join()/.recv()/.get()/.wait() with no timeout parks the process in "
+        "the kernel where no deadline check ever runs.  The resilience layer "
+        "(repro.runtime, which owns retries and reaping) is exempt; "
+        "everything else must bound its blocking calls."
+    )
+
+    _BLOCKING = frozenset({"join", "recv", "get", "wait"})
+
+    def visit_call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._BLOCKING:
+            return
+        # str.join(iterable) / dict.get(key) style calls carry positional
+        # arguments; the zero-argument forms are the blocking ones
+        if node.args:
+            return
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        if ctx.in_package("repro.runtime"):
+            return
+        ctx.report(self, node)
+
+
 #: Registration order is cosmetic only — findings sort by location.
 ALL_RULES: tuple[Rule, ...] = (
     NonAtomicWrite(),
@@ -431,6 +463,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BroadExcept(),
     AdHocException(),
     ImportTimeStateMutation(),
+    UnboundedBlockingCall(),
 )
 
 

@@ -8,7 +8,14 @@ Subcommands mirror the experiment harness:
 - ``cp-vs-tier1``  Figure 12;
 - ``turnoff``      the §7.3 disable-incentive census;
 - ``attack-impact`` hijack impact vs deployment level (§2.2.1);
-- ``graph-stats``  Tables 2-4 for the generated topology.
+- ``graph-stats``  Tables 2-4 for the generated topology;
+- ``validate-graph`` preflight a real as-rel snapshot (quarantine report).
+
+Every simulation subcommand accepts ``--deadline SECONDS`` and
+``--memory-budget SIZE`` (e.g. ``2GiB``); the resulting
+:class:`~repro.runtime.guard.RuntimeGuard` is installed for the whole
+run.  An expired deadline exits with code 3 after journaling completed
+work, so ``sweep --journal ... --resume`` continues where it stopped.
 """
 
 from __future__ import annotations
@@ -32,7 +39,20 @@ from repro.routing.tiebreak import (
     collect_tiebreak_stats,
     security_sensitive_decision_fraction,
 )
+from repro.runtime.errors import DeadlineExceeded
+from repro.runtime.guard import (
+    Deadline,
+    MemoryBudget,
+    RuntimeGuard,
+    parse_size,
+    use_guard,
+)
+from repro.topology.preflight import PREFLIGHT_MODES
 from repro.topology.stats import summarize, top_by_degree
+
+#: exit code for an expired ``--deadline`` (the run is resumable, which
+#: distinguishes it from argparse's 2 and generic failures' 1)
+EXIT_DEADLINE = 3
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +76,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-jsonl", default=None, metavar="PATH",
                         help="also write the span stream as JSONL "
                              "(one event per line) to PATH")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="cooperative wall-clock budget; when it expires "
+                             "the run stops at the next checkpoint (exit "
+                             "code 3) with completed work journaled")
+    parser.add_argument("--memory-budget", default=None, metavar="SIZE",
+                        help="memory budget like '512MiB' or '2g'; the run "
+                             "degrades (chunked kernels, fewer workers, lazy "
+                             "warm) to stay under it")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,11 +111,42 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--journal instead of recomputing them")
             p.add_argument("--out", default=None, metavar="PATH",
                            help="also write the table to PATH (atomic)")
+    vg = sub.add_parser(
+        "validate-graph",
+        help="preflight an as-rel snapshot: malformed lines, duplicate/"
+             "conflicting edges, self-loops, provider cycles, components",
+    )
+    vg.add_argument("path", help="as-rel file to validate")
+    vg.add_argument("--mode", choices=PREFLIGHT_MODES, default="report",
+                    help="strict: raise on any issue; repair: quarantine "
+                         "and fix; report (default): repair + warn")
+    vg.add_argument("--cp", type=int, action="append", default=[],
+                    metavar="ASN", help="treat ASN as a content provider "
+                                        "(repeatable; unioned with # cp: "
+                                        "markers in the file)")
+    vg.add_argument("--repaired-out", default=None, metavar="PATH",
+                    help="write the repaired graph back out as as-rel "
+                         "(atomic)")
+    vg.add_argument("--report-out", default=None, metavar="PATH",
+                    help="write the full quarantine report to PATH as JSON")
     return parser
+
+
+def _build_guard(args: argparse.Namespace) -> RuntimeGuard:
+    """The :class:`RuntimeGuard` requested on the command line."""
+    deadline = getattr(args, "deadline", None)
+    budget = getattr(args, "memory_budget", None)
+    return RuntimeGuard(
+        deadline=Deadline(deadline) if deadline is not None else None,
+        memory=MemoryBudget(parse_size(budget)) if budget else None,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "validate-graph":
+        # pure input validation: no topology generation, no telemetry
+        return _cmd_validate_graph(args)
     if args.command == "experiment":
         from repro.experiments.registry import EXPERIMENTS, list_experiments
 
@@ -109,22 +168,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro import telemetry
 
         registry, tracer = telemetry.enable()
+    exit_code = 0
     try:
-        env = build_environment(
-            n=args.n, seed=args.seed, x=args.x, augmented=args.augmented,
-            workers=args.workers, policy=args.policy,
-        )
-        command = args.command.replace("-", "_")
-        handler = globals()[f"_cmd_{command}"]
-        handler(env, args)
-        if telemetry_on:
-            _write_telemetry(args, registry, tracer)
+        with use_guard(_build_guard(args)):
+            env = build_environment(
+                n=args.n, seed=args.seed, x=args.x, augmented=args.augmented,
+                workers=args.workers, policy=args.policy,
+            )
+            command = args.command.replace("-", "_")
+            handler = globals()[f"_cmd_{command}"]
+            handler(env, args)
+    except DeadlineExceeded as exc:
+        print(f"sbgp-sim: {exc}", file=sys.stderr)
+        exit_code = EXIT_DEADLINE
     finally:
         if telemetry_on:
             from repro import telemetry
 
+            # telemetry is flushed even on a deadline exit: the
+            # runtime.guard.* counters are exactly what you want to see
+            # when a budget ran out
+            _write_telemetry(args, registry, tracer)
             telemetry.disable()
-    return 0
+    return exit_code
 
 
 def _write_telemetry(args, registry, tracer) -> None:
@@ -249,6 +315,32 @@ def _cmd_attack_impact(env, args) -> None:
         ["state", "mean fraction fooled"], rows,
         title="Origin-hijack impact (sec 2.2.1: ~0.5 today, ~own stubs after)",
     ))
+
+
+def _cmd_validate_graph(args) -> int:
+    import json
+
+    from repro.runtime.atomic import atomic_write_text
+    from repro.topology.errors import GraphValidationError
+    from repro.topology.preflight import preflight_as_rel
+    from repro.topology.serialization import dump_as_rel
+
+    try:
+        graph, report = preflight_as_rel(args.path, cp_asns=args.cp, mode=args.mode)
+    except GraphValidationError as exc:
+        print(f"sbgp-sim: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"sbgp-sim: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_text())
+    if args.report_out:
+        atomic_write_text(args.report_out,
+                          json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.repaired_out:
+        dump_as_rel(graph, args.repaired_out)
+        print(f"repaired graph written to {args.repaired_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(env, args) -> None:

@@ -30,6 +30,7 @@ from repro.core.projection import Projection, project_flip
 from repro.core.state import DeploymentState, StateDeriver
 from repro.routing.cache import RoutingCache
 from repro.routing.policy import DEFAULT_POLICY
+from repro.runtime.guard import current_guard
 from repro.runtime.journal import RunJournal, coerce_journal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.spans import get_tracer
@@ -215,10 +216,14 @@ class DeploymentSimulation:
         seen_states: dict[frozenset[int], int] = {self.state.deployers: 0}
         outcome = Outcome.MAX_ROUNDS
         round_timer = registry.histogram("sim.round_seconds")
+        guard = current_guard()
         with tracer.span("simulation", n=self.graph.n, theta=cfg.theta):
             rd = compute_round_data(self.cache, self.deriver, self.state, cfg.utility_model)
 
             for index in range(1, cfg.max_rounds + 1):
+                # round boundary: every completed round is already
+                # journaled, so an expired budget loses no work
+                guard.check_deadline(f"simulation round {index}")
                 with tracer.span("round", index=index), round_timer.time():
                     record = self._play_round(index, rd)
                     rounds.append(record)

@@ -32,9 +32,15 @@ from repro.routing.cache import RoutingCache
 from repro.routing.fast_tree import RoutingTree  # noqa: F401  (re-export)
 from repro.routing.policy import RouteClass
 from repro.routing.tree import DestRouting
+from repro.runtime.guard import current_guard
 
 _CUSTOMER = int(RouteClass.CUSTOMER)
 _PROVIDER = int(RouteClass.PROVIDER)
+
+#: Per-``(dest, node)`` bytes of the batched kernels' working set:
+#: ``choice`` int32 + ``secure``/``any_secure`` bool outputs, the
+#: float64 subtree weights, and roughly one int32 of scratch.
+_KERNEL_ROW_BYTES_PER_NODE = 18
 
 
 @dataclasses.dataclass
@@ -126,8 +132,16 @@ def compute_round_data(
     cache.ensure_state(node_secure, breaks)
     arena = cache.ensure_arena()
     slots = arena.all_slots()
-    bt = compute_trees_batched(arena, slots, node_secure, breaks)
-    w2d = subtree_weights_batched(arena, slots, bt.choice, w)
+    chunk_rows = current_guard().plan_batch_rows(
+        arena.num_dests, _KERNEL_ROW_BYTES_PER_NODE * graph.n, what="round kernel"
+    )
+    if chunk_rows >= arena.num_dests:
+        bt = compute_trees_batched(arena, slots, node_secure, breaks)
+        w2d = subtree_weights_batched(arena, slots, bt.choice, w)
+    else:
+        bt, w2d = _chunked_round_kernels(
+            arena, slots, node_secure, breaks, w, chunk_rows
+        )
     dest_states = [
         DestState(dr=cache.dest_routing(dest), tree=bt.tree(k), weights=w2d[k])
         for k, dest in enumerate(cache.destinations)
@@ -147,6 +161,49 @@ def compute_round_data(
         any_sec_matrix=bt.any_secure,
         secure_dest_positions=secure_positions,
     )
+
+
+def _chunked_round_kernels(
+    arena: RoutingArena,
+    slots: np.ndarray,
+    node_secure: np.ndarray,
+    breaks: np.ndarray,
+    weights: np.ndarray,
+    chunk_rows: int,
+) -> tuple[BatchedTrees, np.ndarray]:
+    """Run the round kernels over destination chunks (degraded mode).
+
+    The ``chunked_batches`` ladder rung: instead of resolving every
+    destination in one stacked pass, the kernels run over ``chunk_rows``
+    slots at a time, bounding the transient per-level gather/scratch
+    arrays by the chunk size.  The ``[num_dests, n]`` output matrices
+    are still materialised (every downstream consumer needs them), and
+    because the kernels are independent per destination the stitched
+    outputs are bit-identical to the full-batch pass — degraded runs
+    stay exact, just slower.
+    """
+    num = arena.num_dests
+    n = arena.graph_n
+    choice = np.empty((num, n), dtype=np.int32)
+    secure = np.empty((num, n), dtype=bool)
+    any_secure = np.empty((num, n), dtype=bool)
+    w2d = np.empty((num, n), dtype=np.float64)
+    for lo in range(0, num, chunk_rows):
+        hi = min(lo + chunk_rows, num)
+        sub = slots[lo:hi]
+        part = compute_trees_batched(arena, sub, node_secure, breaks)
+        choice[lo:hi] = part.choice
+        secure[lo:hi] = part.secure
+        any_secure[lo:hi] = part.any_secure
+        w2d[lo:hi] = subtree_weights_batched(arena, sub, part.choice, weights)
+    bt = BatchedTrees(
+        dest_ids=arena.dest_ids[slots],
+        slots=slots,
+        choice=choice,
+        secure=secure,
+        any_secure=any_secure,
+    )
+    return bt, w2d
 
 
 def _batched_utilities(

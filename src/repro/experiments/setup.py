@@ -14,7 +14,9 @@ import random
 
 from repro.core.adopters import content_providers, cps_plus_top_isps, random_isps, top_degree_isps
 from repro.parallel.engine import parallel_warm_cache
+from repro.routing.arena import RoutingArena
 from repro.routing.cache import RoutingCache
+from repro.runtime.guard import current_guard
 from repro.topology.augment import augment_cp_peering
 from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
 from repro.topology.graph import ASGraph
@@ -105,8 +107,20 @@ def build_environment(
         destinations = sorted(rng.sample(range(graph.n), sample_destinations))
     cache = RoutingCache(graph, destinations=destinations, policy=policy)
     if warm:
-        parallel_warm_cache(cache, workers=workers)
-        cache.ensure_arena()  # pool the trees before the first round
+        guard = current_guard()
+        estimate = RoutingArena.estimate_bytes(len(cache.destinations), graph.n)
+        if not guard.fits_memory(estimate):
+            # last ladder rung: skip the eager warm + arena entirely and
+            # let trees build lazily per destination as rounds touch them
+            guard.degrade(
+                "lazy_warm",
+                f"eager warm needs ~{estimate} bytes for the pooled arena, "
+                "over the memory budget; deferring to lazy per-destination "
+                "builds",
+            )
+        else:
+            parallel_warm_cache(cache, workers=workers)
+            cache.ensure_arena()  # pool the trees before the first round
     return ExperimentEnv(
         topology=topology, graph=graph, cache=cache, x=x, augmented=augmented
     )

@@ -31,6 +31,7 @@ from repro.core.metrics import (
 from repro.core.state import StateDeriver
 from repro.experiments.setup import ExperimentEnv
 from repro.runtime.errors import SchemaError
+from repro.runtime.guard import current_guard
 from repro.runtime.journal import RunJournal, coerce_journal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.spans import get_tracer
@@ -209,6 +210,7 @@ def run_sweep(
 
     registry = get_registry()
     tracer = get_tracer()
+    guard = current_guard()
     cell_timer = registry.histogram("sweep.cell_seconds")
     cells: list[SweepCell] = []
     with tracer.span("sweep", cells=len(adopter_sets) * len(thetas)):
@@ -219,6 +221,9 @@ def run_sweep(
                     registry.counter("sweep.cells_replayed").inc()
                     cells.append(cached)
                     continue
+                # cell boundary: everything finished so far is in the
+                # journal, so DeadlineExceeded here resumes losslessly
+                guard.check_deadline(f"sweep cell ({name}, theta={float(theta):g})")
                 with tracer.span("cell", adopters=name, theta=float(theta)), \
                         cell_timer.time():
                     cell = _run_cell(

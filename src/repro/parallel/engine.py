@@ -35,13 +35,25 @@ import time
 import warnings
 from typing import Callable, Sequence, TypeVar
 
-from repro.parallel.partition import partition
+from repro.parallel.partition import partition, partitions_for_budget
 from repro.runtime.errors import ItemFailedError
+from repro.runtime.guard import current_guard
 from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.worker import finish_capture, merge_worker_snapshot, start_capture
 
 log = logging.getLogger(__name__)
+
+#: Seconds a worker gets to deliver its result after its pipe polls
+#: ready.  The pipe signalling readability and then never completing
+#: the message means the worker died mid-send; 30s is orders of
+#: magnitude above a pipe write, so hitting it is a death, not a race.
+_RESULT_GRACE_SECONDS = 30.0
+
+#: Fraction of the memory budget the warm path may hold in in-flight
+#: partition structures (the rest covers the final pooled arena and
+#: the parent's own copies during backhaul).
+_WARM_SHARE_DIVISOR = 4
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -187,7 +199,15 @@ class _Worker:
         snapshot (None when telemetry is disabled or unavailable).
         """
         try:
-            kind, payload, snapshot = self.conn.recv()
+            if not self.conn.poll(_RESULT_GRACE_SECONDS):
+                self.terminate()
+                return (
+                    "dead",
+                    "worker's pipe signalled a result that never arrived "
+                    f"within {_RESULT_GRACE_SECONDS:g}s",
+                    None,
+                )
+            kind, payload, snapshot = self.conn.recv()  # repro-lint: disable=RPR011 -- bounded by the poll() above
         except (EOFError, OSError):
             self.terminate()
             return (
@@ -285,8 +305,12 @@ class ProcessEngine(MapReduceEngine):
         )
         results: list = [None] * len(items)
         live: list[_Worker] = []
+        guard = current_guard()
         try:
             while queue or live:
+                # the finally-terminate below reaps every live worker,
+                # so an expired deadline leaves no orphan processes
+                guard.check_deadline("parallel map loop")
                 self._dispatch(ctx, fn, queue, live, results, stats)
                 self._reap(queue, live, results, stats)
         finally:
@@ -310,6 +334,7 @@ class ProcessEngine(MapReduceEngine):
         """Start workers for every ready task while slots are free."""
         now = time.monotonic()
         queue_wait = get_registry().histogram("engine.partition_queue_wait_seconds")
+        guard = current_guard()
         held: list[_Task] = []
         while queue and len(live) < self.workers:
             task = queue.popleft()
@@ -320,7 +345,9 @@ class ProcessEngine(MapReduceEngine):
                 self._run_serially(fn, task, results, stats)
                 continue
             queue_wait.observe(time.monotonic() - task.enqueued_at)
-            live.append(_Worker(ctx, fn, task, self.partition_timeout))
+            # a deadline tightens every partition's timeout to the
+            # remaining budget: a hung worker cannot outlive it
+            live.append(_Worker(ctx, fn, task, guard.cap_timeout(self.partition_timeout)))
             stats.dispatched += 1
         queue.extendleft(reversed(held))
 
@@ -331,7 +358,9 @@ class ProcessEngine(MapReduceEngine):
             len(task.pairs), task.attempts,
         )
         stats.serial_fallback_items += len(task.pairs)
+        guard = current_guard()
         for idx, item in task.pairs:
+            guard.check_deadline("serial in-parent fallback")
             try:
                 results[idx] = fn(item)
             except Exception as exc:
@@ -550,7 +579,13 @@ def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> Non
     todo = cache.pending_destinations()
     if not todo:
         return
+    guard = current_guard()
     engine = default_engine(workers)
+    num_partitions = None
+    if isinstance(engine, ProcessEngine):
+        engine, num_partitions = _plan_warm_engine(
+            guard, engine, len(todo), cache.graph.n
+        )
     start = time.perf_counter()
     multi = (
         isinstance(engine, ProcessEngine)
@@ -561,13 +596,18 @@ def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> Non
         from repro.parallel.shm import shm_available
 
         if shm_available():
-            _warm_via_shm(cache, engine, todo)
+            _warm_via_shm(cache, engine, todo, num_partitions=num_partitions)
             cache.note_warm_time(time.perf_counter() - start)
             return
         if transport == "shm":
             from repro.parallel.shm import _note_fallback
 
             _note_fallback("multiprocessing.shared_memory not importable")
+            guard.degrade(
+                "shm_to_pickle",
+                "shared memory requested but multiprocessing.shared_memory "
+                "is not importable",
+            )
     node_secure, breaks_ties = cache.current_state()
     build = _DestRoutingBuilder(
         cache.graph, cache.compiled, cache.policy.name, cache.transform,
@@ -578,17 +618,57 @@ def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> Non
     cache.note_warm_time(time.perf_counter() - start)
 
 
-def _warm_via_shm(cache, engine: ProcessEngine, todo: list[int]) -> None:
+def _plan_warm_engine(
+    guard, engine: ProcessEngine, num_dests: int, n: int
+) -> tuple[MapReduceEngine, int | None]:
+    """Fit the warm map's partition count and worker count to the budget.
+
+    In-flight memory during a parallel warm is ``workers x (one
+    partition's structures)`` on top of the final pooled arena, so the
+    plan (a) raises the partition count until one partition's forecast
+    fits the warm share of the budget, then (b) halves the worker count
+    until the concurrent total fits — each step a visible ladder rung.
+    Returns the (possibly downgraded) engine and the partition count
+    (``None``: engine default).
+    """
+    default_parts = engine.workers * engine.partitions_per_worker
+    if guard.memory is None or num_dests <= 1:
+        return engine, None
+    from repro.routing.arena import RoutingArena
+
+    total = RoutingArena.estimate_bytes(num_dests, n)
+    per_dest = max(1, total // num_dests)
+    share = guard.memory.headroom() // _WARM_SHARE_DIVISOR
+    num_parts = partitions_for_budget(num_dests, default_parts, per_dest, share)
+    if num_parts > default_parts:
+        guard.degrade(
+            "chunked_batches",
+            f"cache warm: forecast ~{total / 2**20:.0f} MiB for {num_dests} "
+            f"destinations; raising partition count {default_parts} -> "
+            f"{num_parts} so one partition fits the budget share",
+        )
+    per_partition = per_dest * max(1, -(-num_dests // num_parts))
+    workers = guard.plan_workers(
+        engine.workers, per_worker_bytes=per_partition, base_bytes=total,
+        what="cache warm",
+    )
+    if workers != engine.workers:
+        return default_engine(workers), num_parts
+    return engine, num_parts
+
+
+def _warm_via_shm(
+    cache, engine: ProcessEngine, todo: list[int], num_partitions: int | None = None
+) -> None:
     """Shared-memory warm backhaul: chunk -> worker arena -> handle."""
     from repro.parallel.shm import consume_published_arena, ensure_tracker_running
 
     # must happen before the first fork: workers that lazily start
     # their own resource tracker get their segments unlinked at exit
     ensure_tracker_running()
-    chunks = [
-        tuple(c)
-        for c in partition(todo, engine.workers * engine.partitions_per_worker)
-    ]
+    if num_partitions is None:
+        num_partitions = engine.workers * engine.partitions_per_worker
+    chunks = [tuple(c) for c in partition(todo, num_partitions)]
     node_secure, breaks_ties = cache.current_state()
     build = _PartitionArenaBuilder(
         cache.graph, cache.compiled, cache.policy.name, cache.transform,
@@ -614,6 +694,11 @@ def _warm_via_shm(cache, engine: ProcessEngine, todo: list[int]) -> None:
             for dest, dr in zip(dests, routings):
                 cache.install(int(dest), dr)
     if pickled_partitions:
+        current_guard().degrade(
+            "shm_to_pickle",
+            f"{pickled_partitions} warm partition(s) fell back to pickled "
+            "trees (workers could not publish shared-memory segments)",
+        )
         log.warning(
             "%d warm partition(s) fell back to pickled trees (no shared memory)",
             pickled_partitions,

@@ -32,8 +32,12 @@ from repro.routing.arena import RoutingArena
 from repro.routing.compiled import CompiledGraph
 from repro.routing.policy import RoutingPolicy, get_policy
 from repro.routing.tree import DestRouting
+from repro.runtime.guard import current_guard
 from repro.telemetry.metrics import get_registry
 from repro.topology.graph import ASGraph
+
+#: destinations warmed between deadline checks in the serial warm loop
+_WARM_CHECK_STRIDE = 64
 
 
 def state_digest(node_secure: np.ndarray, breaks_ties: np.ndarray) -> str:
@@ -215,7 +219,10 @@ class RoutingCache:
         pending = self.pending_destinations()
         if not pending:
             return
+        guard = current_guard()
         if self.policy.state_dependent:
+            # the batched fixpoint is all-or-nothing; check once up front
+            guard.check_deadline("cache warm (batched fixpoint)")
             registry = get_registry()
             start = time.perf_counter()
             routings = self._build(pending)
@@ -229,7 +236,11 @@ class RoutingCache:
             registry.counter("routing.tree_builds").inc(len(pending))
             registry.histogram("routing.tree_build_seconds").observe(elapsed)
         else:
-            for dest in pending:
+            for k, dest in enumerate(pending):
+                if k % _WARM_CHECK_STRIDE == 0:
+                    # already-computed destinations stay cached, so an
+                    # expired budget here resumes where warming stopped
+                    guard.check_deadline("cache warm")
                 self.dest_routing(dest)
 
     def ensure_state(

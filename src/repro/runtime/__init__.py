@@ -18,31 +18,55 @@ from repro.runtime.atomic import (
 )
 from repro.runtime.errors import (
     CorruptFileError,
+    DeadlineExceeded,
     ItemFailedError,
     JournalCorruptError,
     JournalError,
     JournalMismatchError,
+    MemoryBudgetExceeded,
     PersistenceError,
     SchemaError,
 )
 from repro.runtime.faults import FaultInjected, FaultInjector
+from repro.runtime.guard import (
+    LADDER_RUNGS,
+    NULL_GUARD,
+    Deadline,
+    DegradationLadder,
+    MemoryBudget,
+    RuntimeGuard,
+    current_guard,
+    parse_size,
+    use_guard,
+)
 from repro.runtime.journal import JOURNAL_FORMAT, RunJournal, coerce_journal
 from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
     "JOURNAL_FORMAT",
+    "LADDER_RUNGS",
+    "NULL_GUARD",
     "CorruptFileError",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
     "FaultInjected",
     "FaultInjector",
     "ItemFailedError",
     "JournalCorruptError",
     "JournalError",
     "JournalMismatchError",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
     "PersistenceError",
     "RetryPolicy",
     "RunJournal",
+    "RuntimeGuard",
     "SchemaError",
+    "current_guard",
+    "parse_size",
+    "use_guard",
     "atomic_write_json",
     "atomic_write_text",
     "checksum_payload",

@@ -58,6 +58,45 @@ class JournalMismatchError(JournalError):
     """
 
 
+class DeadlineExceeded(RuntimeError):
+    """A cooperative wall-clock budget ran out (see ``runtime.guard``).
+
+    Raised at a *checkpoint* — a sweep-cell, simulation-round, or
+    map-loop boundary — never mid-computation, so everything finished
+    before the raise has already been journaled and a ``--resume`` run
+    picks up exactly where the budget ended.  ``where`` names the
+    checkpoint; ``budget_seconds`` is the budget that expired.
+    """
+
+    def __init__(self, where: str, budget_seconds: float):
+        self.where = where
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            f"deadline of {budget_seconds:g}s exceeded at {where}; "
+            "completed work was journaled (rerun with --resume to continue)"
+        )
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """An allocation was refused because it cannot fit the memory budget.
+
+    Only raised by :meth:`~repro.runtime.guard.MemoryBudget.require` —
+    the degradation ladder prefers shrinking the work (chunked batches,
+    fewer workers, lazy warm) over refusing it, so this surfaces only
+    when even the smallest possible unit exceeds the budget.
+    """
+
+    def __init__(self, what: str, needed_bytes: int, limit_bytes: int):
+        self.what = what
+        self.needed_bytes = needed_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"{what} needs ~{needed_bytes / 2**20:.1f} MiB but the memory "
+            f"budget is {limit_bytes / 2**20:.1f} MiB; raise --memory-budget "
+            "or shrink the run"
+        )
+
+
 class ItemFailedError(Exception):
     """One mapped item kept failing even in the serial fallback.
 

@@ -40,8 +40,13 @@ class FaultInjector:
     mode:
         ``"raise"`` (raise :class:`FaultInjected`), ``"kill"``
         (``SIGKILL`` the current process — simulates a crashed worker),
-        or ``"hang"`` (sleep ``hang_seconds`` — simulates a wedged
-        worker, to be reaped by a partition timeout).
+        ``"hang"`` (sleep ``hang_seconds`` — simulates a wedged
+        worker, to be reaped by a partition timeout), ``"slow"``
+        (sleep ``slow_seconds`` then do the work — simulates a
+        straggler, for exercising deadlines without hang-length
+        stalls), or ``"oom"`` (allocate ``oom_bytes`` then raise
+        :class:`MemoryError` — simulates allocation-until-death, for
+        exercising the memory-governance rungs).
     fail_times:
         Fault only the first N encounters of each bad item (requires
         ``state_dir``); ``None`` means fault every time.
@@ -62,10 +67,12 @@ class FaultInjector:
         fail_times: int | None = None,
         state_dir: str | Path | None = None,
         hang_seconds: float = 30.0,
+        slow_seconds: float = 0.05,
+        oom_bytes: int = 64 * 2**20,
         only_in_worker: bool = False,
         fn: Callable = _identity,
     ):
-        if mode not in ("raise", "kill", "hang"):
+        if mode not in ("raise", "kill", "hang", "slow", "oom"):
             raise ValueError(f"unknown fault mode {mode!r}")
         if fail_times is not None and state_dir is None:
             raise ValueError("fail_times requires a state_dir for counters")
@@ -74,6 +81,8 @@ class FaultInjector:
         self.fail_times = fail_times
         self.state_dir = None if state_dir is None else str(state_dir)
         self.hang_seconds = hang_seconds
+        self.slow_seconds = slow_seconds
+        self.oom_bytes = oom_bytes
         self.only_in_worker = only_in_worker
         self.home_pid = os.getpid()
         self.fn = fn
@@ -84,8 +93,30 @@ class FaultInjector:
                 raise FaultInjected(f"injected fault on {item!r}")
             if self.mode == "kill":
                 os.kill(os.getpid(), signal.SIGKILL)
-            time.sleep(self.hang_seconds)
+            if self.mode == "oom":
+                self._exhaust_memory(item)
+            time.sleep(
+                self.slow_seconds if self.mode == "slow" else self.hang_seconds
+            )
         return self.fn(item)
+
+    def _exhaust_memory(self, item) -> None:
+        """Allocate up to ``oom_bytes`` in chunks, then raise MemoryError.
+
+        Holding the chunks until the raise makes the pressure real (the
+        process's RSS actually grows), while bounding it by ``oom_bytes``
+        keeps the chaos suite deterministic — unlike a true allocate-
+        until-killed loop, the test machine survives.
+        """
+        chunks: list[bytearray] = []
+        allocated = 0
+        step = min(1 << 20, max(1, self.oom_bytes))
+        while allocated < self.oom_bytes:
+            chunks.append(bytearray(step))
+            allocated += step
+        raise MemoryError(
+            f"injected oom on {item!r} after {allocated} bytes"
+        )
 
     def _should_fault(self, item) -> bool:
         if repr(item) not in self.bad_reprs:

@@ -11,11 +11,19 @@ from repro.topology.errors import (
     DuplicateASError,
     DuplicateEdgeError,
     GraphFormatError,
+    GraphValidationError,
     RelationshipCycleError,
     TopologyError,
     UnknownASError,
 )
 from repro.topology.generator import GeneratedTopology, TopologyConfig, generate_topology
+from repro.topology.preflight import (
+    PREFLIGHT_MODES,
+    PreflightIssue,
+    PreflightReport,
+    preflight_as_rel,
+    preflight_as_rel_text,
+)
 from repro.topology.graph import ASGraph
 from repro.topology.relationships import ASRole, Relationship
 from repro.topology.serialization import dump_as_rel, dumps_as_rel, load_as_rel, loads_as_rel
@@ -42,6 +50,10 @@ __all__ = [
     "GeneratedTopology",
     "GraphFormatError",
     "GraphSummary",
+    "GraphValidationError",
+    "PREFLIGHT_MODES",
+    "PreflightIssue",
+    "PreflightReport",
     "Relationship",
     "RelationshipCycleError",
     "TopologyConfig",
@@ -60,6 +72,8 @@ __all__ = [
     "loads_as_rel",
     "mean_cp_path_length",
     "multihomed_stub_fraction",
+    "preflight_as_rel",
+    "preflight_as_rel_text",
     "stub_customer_counts",
     "summarize",
     "top_by_degree",

@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.topology.preflight import PreflightIssue
+
 
 class TopologyError(Exception):
     """Base class for all topology errors."""
@@ -40,5 +47,35 @@ class RelationshipCycleError(TopologyError, ValueError):
         self.cycle = cycle
 
 
-class GraphFormatError(TopologyError, ValueError):
-    """A serialized graph file could not be parsed."""
+class GraphFormatError(TopologyError, SchemaError):
+    """A serialized graph file could not be parsed.
+
+    Messages name the source and line (``<file>:<line>: ...``) so a bad
+    snapshot is pin-pointable without re-running under a debugger.
+    Subclasses :class:`~repro.runtime.errors.SchemaError` (itself a
+    :class:`ValueError`): malformed input data is the same failure class
+    whether it arrives as a journal or an as-rel file, and pre-existing
+    ``except ValueError`` callers keep working.
+    """
+
+
+class GraphValidationError(TopologyError, ValueError):
+    """An as-rel source failed preflight validation in ``strict`` mode.
+
+    Carries the individual :class:`~repro.topology.preflight.
+    PreflightIssue` findings (each with its line number) so callers can
+    render a quarantine report instead of fixing one issue per rerun.
+    """
+
+    def __init__(self, origin: str, issues: Sequence["PreflightIssue"]):
+        self.origin = origin
+        self.issues = tuple(issues)
+        lines = "; ".join(
+            f"line {i.lineno}: {i.message}" for i in self.issues[:5]
+        )
+        more = len(self.issues) - 5
+        if more > 0:
+            lines += f"; ... and {more} more"
+        super().__init__(
+            f"{origin}: {len(self.issues)} validation issue(s): {lines}"
+        )

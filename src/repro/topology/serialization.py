@@ -30,12 +30,36 @@ from repro.topology.relationships import (
 )
 
 
-def load_as_rel(source: str | Path | TextIO, cp_asns: Iterable[int] = ()) -> ASGraph:
+def source_origin(source: str | Path | TextIO) -> str:
+    """Human-readable name of an as-rel source (for error messages)."""
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return str(getattr(source, "name", "<stream>"))
+
+
+def load_as_rel(
+    source: str | Path | TextIO,
+    cp_asns: Iterable[int] = (),
+    preflight: str | None = None,
+) -> ASGraph:
     """Load an AS graph from an ``as-rel`` file, path, or file object.
 
     ``# cp: <asn>`` comment lines mark content providers; explicit
     ``cp_asns`` are unioned with any found in the file.
+
+    Parse errors raise :class:`~repro.topology.errors.GraphFormatError`
+    naming the source and line (``<file>:<line>: ...``).  With
+    ``preflight`` set to a :mod:`repro.topology.preflight` mode
+    (``"strict"``, ``"repair"``, or ``"report"``), the source is instead
+    run through full validation — duplicate/conflicting edges,
+    self-loops, provider cycles, disconnected components — before the
+    graph is returned.
     """
+    if preflight is not None:
+        from repro.topology.preflight import preflight_as_rel
+
+        graph, _report = preflight_as_rel(source, cp_asns, mode=preflight)
+        return graph
     close = False
     if isinstance(source, (str, Path)):
         fh: TextIO = open(source, "r", encoding="utf-8")
@@ -43,18 +67,20 @@ def load_as_rel(source: str | Path | TextIO, cp_asns: Iterable[int] = ()) -> ASG
     else:
         fh = source
     try:
-        return _parse(fh, set(cp_asns))
+        return _parse(fh, set(cp_asns), origin=source_origin(source))
     finally:
         if close:
             fh.close()
 
 
-def loads_as_rel(text: str, cp_asns: Iterable[int] = ()) -> ASGraph:
+def loads_as_rel(
+    text: str, cp_asns: Iterable[int] = (), preflight: str | None = None
+) -> ASGraph:
     """Load an AS graph from an ``as-rel`` string."""
-    return load_as_rel(io.StringIO(text), cp_asns)
+    return load_as_rel(io.StringIO(text), cp_asns, preflight=preflight)
 
 
-def _parse(fh: TextIO, cps: set[int]) -> ASGraph:
+def _parse(fh: TextIO, cps: set[int], origin: str = "<stream>") -> ASGraph:
     edges: list[tuple[int, int, int]] = []
     for lineno, raw in enumerate(fh, start=1):
         line = raw.strip()
@@ -66,17 +92,25 @@ def _parse(fh: TextIO, cps: set[int]) -> ASGraph:
                 try:
                     cps.add(int(body[3:].strip()))
                 except ValueError as exc:
-                    raise GraphFormatError(f"line {lineno}: bad cp marker {line!r}") from exc
+                    raise GraphFormatError(
+                        f"{origin}:{lineno}: bad cp marker {line!r}"
+                    ) from exc
             continue
         parts = line.split("|")
         if len(parts) < 3:
-            raise GraphFormatError(f"line {lineno}: expected a|b|rel, got {line!r}")
+            raise GraphFormatError(
+                f"{origin}:{lineno}: expected a|b|rel, got {line!r}"
+            )
         try:
             a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
         except ValueError as exc:
-            raise GraphFormatError(f"line {lineno}: non-integer field in {line!r}") from exc
+            raise GraphFormatError(
+                f"{origin}:{lineno}: non-integer field in {line!r}"
+            ) from exc
         if rel not in (CAIDA_PROVIDER_TO_CUSTOMER, CAIDA_PEER_TO_PEER):
-            raise GraphFormatError(f"line {lineno}: unknown relationship {rel}")
+            raise GraphFormatError(
+                f"{origin}:{lineno}: unknown relationship {rel}"
+            )
         edges.append((a, b, rel))
 
     graph = ASGraph(cp_asns=cps)

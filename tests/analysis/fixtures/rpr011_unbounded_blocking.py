@@ -1,0 +1,46 @@
+"""Golden fixture for RPR011 (blocking call without a timeout)."""
+
+
+def bad_join(worker) -> None:
+    worker.join()  # expect: RPR011
+
+
+def bad_recv(conn):
+    return conn.recv()  # expect: RPR011
+
+
+def bad_get(queue):
+    return queue.get()  # expect: RPR011
+
+
+def bad_wait(event) -> None:
+    event.wait()  # expect: RPR011
+
+
+def waived_recv(conn):
+    return conn.recv()  # repro-lint: disable=RPR011 -- fixture waiver
+
+
+def clean_join_with_timeout(worker) -> None:
+    worker.join(timeout=5.0)
+
+
+def clean_get_with_timeout(queue):
+    return queue.get(timeout=0.5)
+
+
+def clean_wait_with_timeout(event) -> bool:
+    return event.wait(timeout=1.0)
+
+
+def clean_str_join(parts: list[str]) -> str:
+    return ", ".join(parts)
+
+
+def clean_dict_get(mapping: dict) -> object:
+    return mapping.get("key")
+
+
+def clean_positional_join(worker) -> None:
+    # a positional argument is a timeout for join()/get()/wait()
+    worker.join(5.0)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis import get_rules, lint_source
 from repro.analysis.engine import module_for_path
+from repro.analysis.rules import ALL_RULES
 
 
 def codes(source: str, module: str | None = None, path: str = "fixture.py") -> list[str]:
@@ -84,6 +85,19 @@ class TestImportTimeScoping:
         assert codes(source) == ["RPR006"]
 
 
+class TestUnboundedBlockingScoping:
+    SOURCE = "result = conn.recv()\n"
+
+    def test_flagged_outside_runtime(self):
+        assert codes(self.SOURCE, module="repro.parallel.somewhere") == ["RPR011"]
+
+    def test_exempt_inside_runtime(self):
+        assert codes(self.SOURCE, module="repro.runtime.retry") == []
+
+    def test_scripts_get_no_exemption(self):
+        assert codes(self.SOURCE, module=None) == ["RPR011"]
+
+
 class TestRuleSelection:
     def test_select_runs_only_named_rules(self):
         rules = get_rules(select=frozenset({"RPR001"}))
@@ -92,7 +106,7 @@ class TestRuleSelection:
     def test_ignore_removes_rules(self):
         rules = get_rules(ignore=frozenset({"RPR001", "RPR002"}))
         assert "RPR001" not in {r.code for r in rules}
-        assert len(rules) == 7
+        assert len(rules) == len(ALL_RULES) - 2
 
     def test_unknown_select_raises(self):
         try:

@@ -1,0 +1,251 @@
+"""Chaos suite: combined faults, deadlines, and the degradation ladder.
+
+The acceptance tests for the runtime guard as a whole:
+
+- a sweep whose cache was warmed under combined kill + hang + slow
+  faults, then cut off by a deadline mid-grid, must journal-resume to a
+  grid bit-identical to an unfaulted run;
+- a run given an artificially small memory budget plus an injected
+  shared-memory failure must complete by walking the ladder — pickle
+  transport, chunked batches, reduced workers — with every rung visible
+  as ``runtime.guard.degraded`` counters and unchanged results;
+- preflight repair must be a no-op on clean dumps (hypothesis
+  round-trip properties: ``repair(dump(g)) == g``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+
+from repro.experiments.setup import build_environment
+from repro.experiments.sweeps import run_sweep
+from repro.parallel.engine import (
+    ProcessEngine,
+    _DestRoutingBuilder,
+    parallel_warm_cache,
+)
+from repro.routing.arena import RoutingArena
+from repro.runtime.errors import DeadlineExceeded
+from repro.runtime.faults import FaultInjector
+from repro.runtime.guard import Deadline, MemoryBudget, RuntimeGuard, use_guard
+from repro.runtime.journal import RunJournal
+from repro.runtime.retry import RetryPolicy
+from repro.telemetry.metrics import MetricsRegistry, use_registry
+from repro.topology.graph import ASGraph
+from repro.topology.preflight import preflight_as_rel_text
+from repro.topology.serialization import dumps_as_rel
+
+from tests.strategies import as_graphs
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="chaos tests target the fork start method",
+)
+
+THETAS = (0.0, 0.05)
+FAST_RETRY = RetryPolicy(max_attempts=5, backoff_base=0.01, backoff_max=0.05)
+ITEMS = list(range(40))
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def adopter_sets(env):
+    sets = env.adopter_sets()
+    return {"none": [], "top-5": sets["top-5"]}
+
+
+@pytest.fixture(scope="module")
+def clean_env():
+    return build_environment(n=120, seed=11, x=0.10, warm=True)
+
+
+@pytest.fixture(scope="module")
+def clean_cells(clean_env):
+    """The unfaulted, unguarded grid every chaos run must reproduce."""
+    return run_sweep(clean_env, thetas=THETAS, adopter_sets=adopter_sets(clean_env))
+
+
+class _ClockAdvancingJournal(RunJournal):
+    """Burns the whole deadline budget after N durable appends."""
+
+    def __init__(self, path, clock: dict, advance_after: int):
+        super().__init__(path)
+        self.clock = clock
+        self.advance_after = advance_after
+
+    def append(self, record):
+        super().append(record)
+        self.advance_after -= 1
+        if self.advance_after == 0:
+            self.clock["now"] += 10_000.0
+
+
+def _warm_under_faults(cache, state_root) -> ProcessEngine:
+    """Warm every destination through an engine injecting kill+hang+slow.
+
+    The injectors chain around the cache's own builder, so the engine is
+    mapping real tree builds; results land via the public install API.
+    """
+    node_secure, breaks_ties = cache.current_state()
+    build = _DestRoutingBuilder(
+        cache.graph, cache.compiled, cache.policy.name, cache.transform,
+        node_secure, breaks_ties,
+    )
+    for sub in ("hang", "kill"):
+        (state_root / sub).mkdir(exist_ok=True)
+    slow = FaultInjector({3, 29}, mode="slow", slow_seconds=0.05, fn=build)
+    hung = FaultInjector(
+        {17}, mode="hang", fail_times=1, state_dir=state_root / "hang",
+        hang_seconds=60.0, fn=slow,
+    )
+    chaos = FaultInjector(
+        {41}, mode="kill", fail_times=1, state_dir=state_root / "kill", fn=hung,
+    )
+    engine = ProcessEngine(workers=2, retry=FAST_RETRY, partition_timeout=0.5)
+    todo = cache.pending_destinations()
+    for dest, dr in zip(todo, engine.map(chaos, todo)):
+        cache.install(dest, dr)
+    return engine
+
+
+@fork_only
+class TestDeadlineResumeUnderFaults:
+    def test_faulted_sweep_resumes_bit_identically(
+        self, clean_cells, tmp_path
+    ):
+        """Acceptance: kill+hang+slow warm, deadline mid-grid, resume."""
+        env = build_environment(n=120, seed=11, x=0.10, warm=False)
+        engine = _warm_under_faults(env.cache, tmp_path)
+        assert engine.last_stats.worker_deaths >= 1  # the kill fired
+        assert engine.last_stats.timeouts >= 1       # the hang was reaped
+        env.cache.ensure_arena()
+
+        clock = {"now": 0.0}
+        guard = RuntimeGuard(deadline=Deadline(60.0, clock=lambda: clock["now"]))
+        path = tmp_path / "sweep.jsonl"
+        journal = _ClockAdvancingJournal(path, clock, advance_after=2)
+        with use_guard(guard), pytest.raises(DeadlineExceeded) as info:
+            run_sweep(
+                env, thetas=THETAS, adopter_sets=adopter_sets(env),
+                journal=journal,
+            )
+        assert "sweep cell" in info.value.where
+        assert "--resume" in str(info.value)
+        # both cells finished before expiry survived in the journal
+        assert len(RunJournal(path)) == 2
+
+        before = path.read_text()
+        resumed = run_sweep(
+            env, thetas=THETAS, adopter_sets=adopter_sets(env),
+            journal=RunJournal(path),
+        )
+        assert resumed == clean_cells  # bit-identical to the unfaulted run
+        assert path.read_text().startswith(before)  # replayed, not redone
+
+
+@fork_only
+class TestDegradationLadderEndToEnd:
+    def test_small_budget_and_shm_failure_walk_the_ladder(
+        self, clean_cells, monkeypatch
+    ):
+        """Acceptance: pickle transport + chunked batches + reduced
+        workers, each rung a visible counter, results unchanged."""
+        import repro.parallel.shm as shm
+
+        # workers resolve publish_arena at call time, after the fork,
+        # so patching the module attribute reaches every child
+        monkeypatch.setattr(shm, "publish_arena", lambda arena, dests=(): None)
+
+        env = build_environment(n=120, seed=11, x=0.10, warm=False)
+        num_dests = len(env.cache.destinations)
+        total = RoutingArena.estimate_bytes(num_dests, env.graph.n)
+        per_dest = max(1, total // num_dests)
+        # room for the arena plus ~5 in-flight warm partitions: 8
+        # workers must halve to 4 (reduced_workers) but not to serial,
+        # and the full round kernel batch must overflow the kernel share
+        guard = RuntimeGuard(memory=MemoryBudget(total + 20 * per_dest))
+
+        with use_registry(MetricsRegistry()) as registry, use_guard(guard):
+            parallel_warm_cache(env.cache, workers=8)
+            assert not env.cache.pending_destinations()  # warm completed
+            env.cache.ensure_arena()
+            cells = run_sweep(env, thetas=THETAS, adopter_sets=adopter_sets(env))
+
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.guard.degraded.shm_to_pickle"] >= 1
+        assert counters["runtime.guard.degraded.reduced_workers"] >= 1
+        assert counters["runtime.guard.degraded.chunked_batches"] >= 1
+        assert counters["runtime.guard.degraded"] >= 3
+        assert guard.ladder.taken("serial_workers") == 0  # stayed parallel
+        assert cells == clean_cells  # every rung taken, results unchanged
+
+    def test_tiny_budget_defers_the_warm_entirely(self):
+        """The last rung: a budget below the arena estimate skips the
+        eager warm and leaves trees to build lazily per destination."""
+        guard = RuntimeGuard(memory=MemoryBudget(1024))
+        with use_guard(guard):
+            env = build_environment(n=60, seed=11, x=0.10, warm=True)
+        assert guard.ladder.taken("lazy_warm") == 1
+        assert env.cache.pending_destinations()  # nothing built eagerly
+
+
+@fork_only
+class TestNewFaultModes:
+    def test_slow_mode_delays_but_completes(self):
+        injector = FaultInjector({2}, mode="slow", slow_seconds=0.01, fn=square)
+        assert injector(2) == 4
+
+    def test_oom_mode_retried_to_success(self, tmp_path):
+        injector = FaultInjector(
+            {5}, mode="oom", fail_times=1, state_dir=tmp_path,
+            oom_bytes=2**20, fn=square,
+        )
+        engine = ProcessEngine(workers=2, retry=FAST_RETRY)
+        assert engine.map(injector, ITEMS) == [x * x for x in ITEMS]
+        assert engine.last_stats.worker_errors >= 1
+
+
+def canonical(graph: ASGraph) -> tuple:
+    """Structure-equality key over what the as-rel format can represent.
+
+    The format carries ASes only through edges and ``# cp:`` markers, so
+    isolated non-CP nodes are excluded from the comparison — they cannot
+    survive any dump/load cycle, repaired or not.
+    """
+    edges = sorted((a, b, rel.value) for a, b, rel in graph.edges())
+    mentioned = {a for a, b, _ in edges} | {b for _, b, _ in edges} | graph.cp_asns
+    return (
+        sorted(asn for asn in graph.asns if asn in mentioned),
+        sorted(graph.cp_asns),
+        edges,
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(as_graphs(with_cps=True))
+    def test_repair_of_clean_dump_is_identity(self, graph):
+        """repair(dump(g)) == g: preflight never mangles a clean graph."""
+        repaired, report = preflight_as_rel_text(dumps_as_rel(graph), mode="repair")
+        assert report.dropped_edges == 0
+        assert not [i for i in report.issues if i.code != "disconnected"]
+        assert canonical(repaired) == canonical(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(as_graphs(with_cps=True))
+    def test_repair_is_idempotent_on_duplicated_input(self, graph):
+        """Feeding every edge twice repairs back to the same graph."""
+        text = dumps_as_rel(graph)
+        edge_lines = [
+            line for line in text.splitlines() if line and not line.startswith("#")
+        ]
+        doubled = text + "\n".join(edge_lines) + "\n"
+        repaired, report = preflight_as_rel_text(doubled, mode="repair")
+        assert canonical(repaired) == canonical(graph)
+        dup_issues = [i for i in report.issues if i.code == "duplicate_edge"]
+        assert len(dup_issues) == len(edge_lines)

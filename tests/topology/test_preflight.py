@@ -1,0 +1,141 @@
+"""Preflight validation: quarantine, repair, strict mode.
+
+The hypothesis round-trip properties (``repair(dump(g)) == g``) live in
+``tests/runtime/test_guard_chaos.py`` with the rest of the chaos suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.errors import GraphValidationError
+from repro.topology.preflight import (
+    PREFLIGHT_MODES,
+    preflight_as_rel,
+    preflight_as_rel_text,
+)
+from repro.topology.serialization import load_as_rel
+
+CLEAN = """\
+# cp: 30
+1|2|-1
+1|3|-1
+2|3|0
+3|30|-1
+"""
+
+DIRTY = """\
+1|2|-1
+not a line at all
+1|2|-1
+2|1|-1
+4|4|0
+1|3|-1
+9|9|9|9
+"""
+
+
+class TestCleanInput:
+    @pytest.mark.parametrize("mode", PREFLIGHT_MODES)
+    def test_clean_file_has_no_issues(self, mode):
+        graph, report = preflight_as_rel_text(CLEAN, mode=mode)
+        assert report.ok
+        assert report.dropped_edges == 0
+        assert report.num_components == 1
+        assert graph.cp_asns == {30}
+        assert graph.n == 4
+
+
+class TestQuarantine:
+    def test_issues_carry_line_numbers_and_codes(self):
+        _graph, report = preflight_as_rel_text(DIRTY, mode="repair")
+        by_code = {}
+        for issue in report.issues:
+            by_code.setdefault(issue.code, []).append(issue.lineno)
+        assert by_code["malformed"] == [2, 7]
+        assert by_code["duplicate_edge"] == [3]
+        assert by_code["conflicting_edge"] == [4]
+        assert by_code["self_loop"] == [5]
+
+    def test_repair_keeps_first_declaration(self):
+        graph, report = preflight_as_rel_text(DIRTY, mode="repair")
+        # 1|2|-1 kept once (1 provider of 2); 2|1|-1 conflict dropped
+        assert graph.customers_of(1) == [2, 3]
+        assert graph.providers_of(2) == [1]
+        assert report.dropped_edges == 5
+
+    def test_strict_raises_with_every_issue(self):
+        with pytest.raises(GraphValidationError) as info:
+            preflight_as_rel_text(DIRTY, mode="strict")
+        assert len(info.value.issues) == 5
+        assert "line 2" in str(info.value) or ":2:" in str(info.value)
+
+    def test_report_mode_warns_and_repairs(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.topology.preflight"):
+            graph, report = preflight_as_rel_text(DIRTY, mode="report")
+        assert not report.ok
+        assert len(caplog.records) == len(report.issues)
+        assert graph.n == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown preflight mode"):
+            preflight_as_rel_text(CLEAN, mode="yolo")
+
+
+class TestProviderCycles:
+    CYCLIC = "1|2|-1\n2|3|-1\n3|1|-1\n"
+
+    def test_cycle_broken_in_repair_mode(self):
+        graph, report = preflight_as_rel_text(self.CYCLIC, mode="repair")
+        codes = [i.code for i in report.issues]
+        assert "provider_cycle" in codes
+        graph.validate()  # repaired graph satisfies GR1
+
+    def test_cycle_fails_strict_mode(self):
+        with pytest.raises(GraphValidationError, match="provider_cycle|cycle"):
+            preflight_as_rel_text(self.CYCLIC, mode="strict")
+
+
+class TestComponents:
+    def test_disconnected_components_reported(self):
+        graph, report = preflight_as_rel_text("1|2|-1\n8|9|0\n", mode="repair")
+        assert report.num_components == 2
+        assert any(i.code == "disconnected" for i in report.issues)
+        assert graph.n == 4
+
+
+class TestLoadAsRelIntegration:
+    def test_load_as_rel_with_preflight_repairs(self, tmp_path):
+        path = tmp_path / "dirty.as-rel"
+        path.write_text(DIRTY)
+        graph = load_as_rel(path, preflight="repair")
+        assert graph.n == 3
+
+    def test_load_as_rel_with_strict_preflight_raises(self, tmp_path):
+        path = tmp_path / "dirty.as-rel"
+        path.write_text(DIRTY)
+        with pytest.raises(GraphValidationError) as info:
+            load_as_rel(path, preflight="strict")
+        assert str(path) in str(info.value)
+
+    def test_path_source_names_file_in_report(self, tmp_path):
+        path = tmp_path / "g.as-rel"
+        path.write_text(CLEAN)
+        _graph, report = preflight_as_rel(path, mode="report")
+        assert report.origin == str(path)
+
+
+class TestReportSerialization:
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        _graph, report = preflight_as_rel_text(DIRTY, mode="repair")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["num_issues"] == len(report.issues)
+        assert payload["issues"][0]["lineno"] == report.issues[0].lineno
+
+    def test_format_text_lists_findings(self):
+        _graph, report = preflight_as_rel_text(DIRTY, mode="repair")
+        text = report.format_text()
+        assert "5 issue(s)" in text
+        assert "[malformed]" in text

@@ -32,8 +32,20 @@ class TestLoading:
         assert g.cp_asns == {2, 30}
 
     def test_bad_line_raises_with_lineno(self):
-        with pytest.raises(GraphFormatError, match="line 1"):
+        with pytest.raises(GraphFormatError, match=r"<stream>:1:"):
             loads_as_rel("1|2\n")
+
+    def test_bad_line_is_a_schema_error(self):
+        from repro.runtime.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            loads_as_rel("1|2\n")
+
+    def test_bad_line_in_file_names_the_path(self, tmp_path):
+        path = tmp_path / "broken.as-rel"
+        path.write_text("1|2|-1\n1|2\n")
+        with pytest.raises(GraphFormatError, match=r"broken\.as-rel:2:"):
+            load_as_rel(path)
 
     def test_non_integer_field(self):
         with pytest.raises(GraphFormatError, match="non-integer"):
