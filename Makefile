@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
-.PHONY: install test test-resilience test-chaos bench bench-json bench-compare \
-	bench-large examples lint lint-fix typecheck
+.PHONY: install test test-resilience test-chaos test-service serve bench \
+	bench-json bench-compare bench-large examples lint lint-fix typecheck
 
 # Compare the two newest BENCH_*.json snapshots (override with
 # BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
@@ -25,6 +25,20 @@ test-resilience:
 # memory budgets, plus the degradation-ladder acceptance tests.
 test-chaos:
 	pytest tests/runtime/test_guard_chaos.py tests/parallel/test_faults.py -v
+
+# The simulation service: job store, scheduler, result cache, HTTP
+# daemon, plus its satellites (journal locking, engine shutdown).
+test-service:
+	pytest tests/service tests/runtime/test_journal_lock.py \
+		tests/parallel/test_engine_shutdown.py -v
+
+# Run the job daemon locally.  SERVE_STORE defaults to ./service-store;
+# port 0 picks a free port and writes it to $(SERVE_STORE)/endpoint.json.
+SERVE_STORE ?= service-store
+SERVE_PORT ?= 0
+serve:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		python -m repro.cli serve --store $(SERVE_STORE) --port $(SERVE_PORT)
 
 bench:
 	pytest benchmarks/ --benchmark-only

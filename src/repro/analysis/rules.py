@@ -452,6 +452,50 @@ class UnboundedBlockingCall(Rule):
         ctx.report(self, node)
 
 
+class InlineKernelCall(Rule):
+    code = "RPR012"
+    name = "inline-kernel-call"
+    message = (
+        "simulation kernel called directly from repro.service; route the "
+        "work through the Scheduler so it runs under a job's guard, journal, "
+        "and cache (only repro.service.executor may call kernels)"
+    )
+    rationale = (
+        "The service's request threads must stay cheap: an HTTP handler that "
+        "runs a sweep inline blocks the accept loop for minutes, bypasses "
+        "per-job deadlines/journals, and double-computes what the scheduler "
+        "would have coalesced.  repro.service.executor is the one sanctioned "
+        "kernel caller; everything else in repro.service marshals jobs."
+    )
+
+    _KERNELS = frozenset(
+        {
+            "run_sweep",
+            "run_case_study",
+            "run_cp_vs_tier1",
+            "run_experiment",
+            "build_environment",
+            "DeploymentSimulation",
+            "simulate_bgp",
+            "compute_round_data",
+            "compute_trees_batched",
+            "subtree_weights_batched",
+            "project_flip",
+            "parallel_warm_cache",
+            "parallel_project_flips",
+        }
+    )
+
+    def visit_call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not ctx.in_package("repro.service"):
+            return
+        if ctx.is_module("repro.service.executor"):
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved is not None and resolved.rpartition(".")[2] in self._KERNELS:
+            ctx.report(self, node)
+
+
 #: Registration order is cosmetic only — findings sort by location.
 ALL_RULES: tuple[Rule, ...] = (
     NonAtomicWrite(),
@@ -464,6 +508,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AdHocException(),
     ImportTimeStateMutation(),
     UnboundedBlockingCall(),
+    InlineKernelCall(),
 )
 
 

@@ -111,6 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--journal instead of recomputing them")
             p.add_argument("--out", default=None, metavar="PATH",
                            help="also write the table to PATH (atomic)")
+    sv = sub.add_parser(
+        "serve",
+        help="run the simulation service: a long-lived daemon with a JSON "
+             "job API, journal-backed job store, fair scheduler, and a "
+             "cross-request arena/result cache",
+    )
+    sv.add_argument("--store", required=True, metavar="DIR",
+                    help="store directory (job journal, sweep journals, "
+                         "results, endpoint.json); reusing a directory "
+                         "resumes its unfinished jobs")
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument("--port", type=int, default=0,
+                    help="bind port (0 = pick a free one; the actual "
+                         "endpoint is written to <store>/endpoint.json)")
+    sv.add_argument("--job-workers", type=int, default=1,
+                    help="concurrent job-executor threads")
+    sv.add_argument("--cache-budget", default="256MiB", metavar="SIZE",
+                    help="result-cache byte budget (LRU eviction beyond it)")
     vg = sub.add_parser(
         "validate-graph",
         help="preflight an as-rel snapshot: malformed lines, duplicate/"
@@ -147,6 +165,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "validate-graph":
         # pure input validation: no topology generation, no telemetry
         return _cmd_validate_graph(args)
+    if args.command == "serve":
+        # the daemon owns its own telemetry and builds environments
+        # per job, not up front
+        return _cmd_serve(args)
     if args.command == "experiment":
         from repro.experiments.registry import EXPERIMENTS, list_experiments
 
@@ -315,6 +337,42 @@ def _cmd_attack_impact(env, args) -> None:
         ["state", "mean fraction fooled"], rows,
         title="Origin-hijack impact (sec 2.2.1: ~0.5 today, ~own stubs after)",
     ))
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro import telemetry
+    from repro.service.daemon import SimulationService
+
+    # telemetry is always live for the daemon: /metrics is part of the
+    # API contract, and the final snapshot flushes to <store>/metrics.json
+    telemetry.enable()
+    service = SimulationService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.job_workers,
+        cache_budget_bytes=parse_size(args.cache_budget),
+    )
+
+    def _on_signal(signum, frame) -> None:
+        # signal-safe: just trips the event the main thread waits on;
+        # the graceful drain happens below, outside handler context
+        service.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    host, port = service.address
+    print(f"sbgp-sim service listening on http://{host}:{port} "
+          f"(store: {args.store})", flush=True)
+    try:
+        service.wait_until_shutdown()
+    finally:
+        service.shutdown()
+        telemetry.disable()
+    return 0
 
 
 def _cmd_validate_graph(args) -> int:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.core.config import SimulationConfig, UtilityModel
 from repro.core.dynamics import DeploymentSimulation
@@ -41,6 +41,30 @@ DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50)
 
 #: journal ``kind`` for sweep checkpoints
 SWEEP_JOURNAL_KIND = "sweep"
+
+
+class CellCache(Protocol):
+    """Cross-run cell store consulted before computing a sweep cell.
+
+    The simulation service binds one of these to its
+    :class:`~repro.service.cache.ResultCache` so two users sweeping
+    overlapping grids share finished cells.  Implementations own the
+    key scope (the service keys by environment + grid digests); the
+    sweep only contributes ``(adopter-set name, theta)``.
+    """
+
+    def get(self, adopters: str, theta: float) -> "SweepCell | None": ...
+
+    def put(self, adopters: str, theta: float, cell: "SweepCell") -> None: ...
+
+
+#: progress callback: ``(cell, source)`` with source one of
+#: ``"computed"`` / ``"replayed"`` (from this run's journal) /
+#: ``"cache"`` (from a cross-run CellCache).  Raising from the callback
+#: aborts the sweep at a cell boundary — everything finished is already
+#: journaled, which is exactly how the service implements cooperative
+#: job cancellation and graceful suspend.
+CellCallback = Callable[["SweepCell", str], None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -183,6 +207,8 @@ def run_sweep(
     collect_projection_accuracy: bool = False,
     max_rounds: int = 100,
     journal: RunJournal | str | Path | None = None,
+    cell_cache: CellCache | None = None,
+    on_cell: CellCallback | None = None,
 ) -> list[SweepCell]:
     """Run the full (adopter set x theta) grid and return its cells.
 
@@ -190,6 +216,11 @@ def run_sweep(
     finishes, and cells already present (from an interrupted earlier
     run) are replayed instead of recomputed — the returned list is
     identical to an uninterrupted run's.
+
+    A ``cell_cache`` (see :class:`CellCache`) is consulted before each
+    computation: hits are adopted verbatim (and still journaled, so
+    resume stays complete) and misses are published after computing.
+    ``on_cell`` observes every finished cell with its provenance.
     """
     adopter_sets = adopter_sets or env.adopter_sets()
     journal = coerce_journal(journal)
@@ -216,14 +247,30 @@ def run_sweep(
     with tracer.span("sweep", cells=len(adopter_sets) * len(thetas)):
         for name, adopters in adopter_sets.items():
             for theta in thetas:
-                cached = done.get((name, float(theta)))
-                if cached is not None:
+                replayed = done.get((name, float(theta)))
+                if replayed is not None:
                     registry.counter("sweep.cells_replayed").inc()
-                    cells.append(cached)
+                    cells.append(replayed)
+                    if on_cell is not None:
+                        on_cell(replayed, "replayed")
                     continue
                 # cell boundary: everything finished so far is in the
                 # journal, so DeadlineExceeded here resumes losslessly
                 guard.check_deadline(f"sweep cell ({name}, theta={float(theta):g})")
+                shared = (
+                    cell_cache.get(name, float(theta))
+                    if cell_cache is not None else None
+                )
+                if shared is not None:
+                    # a cross-run hit is journaled like a computed cell,
+                    # so this run's journal stays a complete resume record
+                    registry.counter("sweep.cells_from_cache").inc()
+                    if journal is not None:
+                        journal.append({"type": "cell", "cell": cell_to_dict(shared)})
+                    cells.append(shared)
+                    if on_cell is not None:
+                        on_cell(shared, "cache")
+                    continue
                 with tracer.span("cell", adopters=name, theta=float(theta)), \
                         cell_timer.time():
                     cell = _run_cell(
@@ -233,7 +280,11 @@ def run_sweep(
                 registry.counter("sweep.cells").inc()
                 if journal is not None:
                     journal.append({"type": "cell", "cell": cell_to_dict(cell)})
+                if cell_cache is not None:
+                    cell_cache.put(name, float(theta), cell)
                 cells.append(cell)
+                if on_cell is not None:
+                    on_cell(cell, "computed")
     return cells
 
 

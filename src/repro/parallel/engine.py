@@ -31,12 +31,14 @@ import logging
 import multiprocessing
 import multiprocessing.connection
 import os
+import threading
 import time
 import warnings
+import weakref
 from typing import Callable, Sequence, TypeVar
 
 from repro.parallel.partition import partition, partitions_for_budget
-from repro.runtime.errors import ItemFailedError
+from repro.runtime.errors import EngineShutdownError, ItemFailedError
 from repro.runtime.guard import current_guard
 from repro.runtime.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.telemetry.metrics import get_registry
@@ -58,6 +60,62 @@ _WARM_SHARE_DIVISOR = 4
 T = TypeVar("T")
 R = TypeVar("R")
 A = TypeVar("A")
+
+#: Seconds a graceful shutdown waits for in-flight partitions to finish
+#: before terminating their workers outright.  In-flight partitions are
+#: small (seconds of work) so honest drains complete well inside this.
+_SHUTDOWN_DRAIN_GRACE = 30.0
+
+#: Engines with a map currently running, so a process-wide shutdown
+#: request (SIGTERM handler, daemon stop) can reach all of them without
+#: threading engine references through every call chain.
+_active_engines: "weakref.WeakSet[ProcessEngine]" = weakref.WeakSet()
+
+
+def shutdown_active_engines() -> int:
+    """Request a graceful stop of every engine with a live map.
+
+    Called from signal handlers and the simulation service's shutdown
+    path.  Each engine stops dispatching, drains (or terminates) its
+    in-flight partitions, and raises
+    :class:`~repro.runtime.errors.EngineShutdownError` out of its
+    ``map`` — so no worker process or shared-memory segment outlives
+    the daemon.  Returns the number of engines signalled.
+    """
+    engines = list(_active_engines)
+    for engine in engines:
+        engine.request_shutdown()
+    return len(engines)
+
+
+def _discard_abandoned_payload(payload: object) -> None:
+    """Unlink shm segments riding in results nobody will ever consume.
+
+    A drained partition may have published its arena as a shared-memory
+    segment whose handle was about to cross the result pipe; once the
+    map raises, no consumer will attach-and-unlink it, so the drain
+    releases it here instead of leaking it for the daemon's lifetime.
+    """
+    try:
+        from repro.parallel.shm import ArenaHandle, discard_published_arena
+    except ImportError:  # pragma: no cover - shm module always importable
+        return
+    if not isinstance(payload, list):
+        return
+    for entry in payload:
+        value = entry[1] if isinstance(entry, tuple) and len(entry) == 2 else entry
+        handle = None
+        if isinstance(value, ArenaHandle):
+            handle = value
+        elif (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and isinstance(value[1], ArenaHandle)
+        ):
+            handle = value[1]
+        if handle is not None:
+            discard_published_arena(handle)
+
 
 #: start methods in preference order: fork keeps read-only graph
 #: structures shared copy-on-write (the right trade-off for this
@@ -292,6 +350,24 @@ class ProcessEngine(MapReduceEngine):
         self.on_error = on_error
         self.start_method = start_method if start_method is not None else choose_start_method()
         self.last_stats = MapStats()
+        self._shutdown = threading.Event()
+
+    def request_shutdown(self) -> None:
+        """Ask a running :meth:`map` to stop at its next dispatch cycle.
+
+        Thread- and signal-safe.  The map stops handing out new
+        partitions, drains in-flight ones within a bounded grace (then
+        terminates stragglers), releases any abandoned shared-memory
+        segments, and raises
+        :class:`~repro.runtime.errors.EngineShutdownError`.  A request
+        made while no map is running stops the next one immediately.
+        """
+        self._shutdown.set()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """True once :meth:`request_shutdown` has been called."""
+        return self._shutdown.is_set()
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         self.last_stats = stats = MapStats()
@@ -306,18 +382,58 @@ class ProcessEngine(MapReduceEngine):
         results: list = [None] * len(items)
         live: list[_Worker] = []
         guard = current_guard()
+        _active_engines.add(self)
         try:
             while queue or live:
+                if self._shutdown.is_set():
+                    pending = self._drain_for_shutdown(queue, live)
+                    self._publish_stats(stats)
+                    raise EngineShutdownError(pending)
                 # the finally-terminate below reaps every live worker,
                 # so an expired deadline leaves no orphan processes
                 guard.check_deadline("parallel map loop")
                 self._dispatch(ctx, fn, queue, live, results, stats)
                 self._reap(queue, live, results, stats)
         finally:
+            _active_engines.discard(self)
             for worker in live:
                 worker.terminate()
         self._publish_stats(stats)
         return results
+
+    def _drain_for_shutdown(
+        self, queue: "collections.deque[_Task]", live: list[_Worker]
+    ) -> int:
+        """Drain in-flight partitions, terminate stragglers, count losses.
+
+        In-flight workers get :data:`_SHUTDOWN_DRAIN_GRACE` (capped to
+        any deadline budget) to deliver; whatever they deliver is
+        discarded — with shared-memory segments explicitly unlinked —
+        because the interrupted map returns nothing.  Returns the number
+        of items left unfinished (queued + in-flight).
+        """
+        pending = sum(len(t.pairs) for t in queue)
+        pending += sum(len(w.task.pairs) for w in live)
+        log.warning(
+            "shutdown requested: draining %d in-flight partition(s), "
+            "abandoning %d queued task(s)",
+            len(live), len(queue),
+        )
+        get_registry().counter("engine.shutdowns").inc()
+        grace = current_guard().cap_timeout(_SHUTDOWN_DRAIN_GRACE)
+        drain_deadline = time.monotonic() + (grace if grace is not None else 0.0)
+        for worker in live:
+            remaining = drain_deadline - time.monotonic()
+            if remaining > 0 and worker.conn.poll(remaining):
+                kind, payload, snapshot = worker.reap()
+                if kind == "ok":
+                    merge_worker_snapshot(snapshot)
+                    _discard_abandoned_payload(payload)
+            else:
+                worker.terminate()
+        live.clear()
+        queue.clear()
+        return pending
 
     def _publish_stats(self, stats: MapStats) -> None:
         """Fold this map's fault accounting into the active registry."""

@@ -206,6 +206,33 @@ def release_arena(name: str, unlink: bool = False) -> None:
             pass
 
 
+def discard_published_arena(handle: ArenaHandle) -> bool:
+    """Unlink a published segment without consuming its contents.
+
+    The graceful-shutdown drain path: a worker finished and published
+    its partition arena, but the interrupted map will never hand the
+    handle to a consumer.  Attaching + closing + unlinking here releases
+    the segment immediately instead of leaving it to the resource
+    tracker's at-exit sweep (which, in a long-lived daemon, may be days
+    away).  Returns True when a segment was actually unlinked.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(name=handle.name)
+    except (OSError, ValueError):
+        return False  # already gone (publisher crashed, or double discard)
+    try:
+        segment.close()
+    finally:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing another unlink
+            pass
+    get_registry().counter("parallel.shm.discards").inc()
+    return True
+
+
 def consume_published_arena(handle: ArenaHandle) -> RoutingArena | None:
     """Copy a worker-published arena out of shared memory and destroy it.
 

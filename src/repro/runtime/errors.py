@@ -58,6 +58,26 @@ class JournalMismatchError(JournalError):
     """
 
 
+class JournalLockedError(JournalError):
+    """Another writer holds the journal's advisory lock.
+
+    Appends take a best-effort ``flock`` so two daemon workers (or two
+    daemon *processes* sharing a store directory) can never interleave
+    half-lines into one journal.  Contention beyond the short retry
+    window surfaces as this error instead of silent corruption; the
+    caller decides whether to retry, requeue, or fail the work unit.
+    """
+
+    def __init__(self, path: object, waited_seconds: float):
+        self.path = str(path)
+        self.waited_seconds = waited_seconds
+        super().__init__(
+            f"{self.path}: journal is locked by another writer (gave up "
+            f"after {waited_seconds:g}s); two runs may be sharing one "
+            "journal path"
+        )
+
+
 class DeadlineExceeded(RuntimeError):
     """A cooperative wall-clock budget ran out (see ``runtime.guard``).
 
@@ -94,6 +114,25 @@ class MemoryBudgetExceeded(RuntimeError):
             f"{what} needs ~{needed_bytes / 2**20:.1f} MiB but the memory "
             f"budget is {limit_bytes / 2**20:.1f} MiB; raise --memory-budget "
             "or shrink the run"
+        )
+
+
+class EngineShutdownError(RuntimeError):
+    """A parallel map was stopped by a shutdown request (SIGTERM/SIGINT).
+
+    Raised by :meth:`~repro.parallel.engine.ProcessEngine.map` after the
+    engine stopped dispatching new partitions, drained (or terminated)
+    the in-flight ones, and cleaned up worker processes — so a daemon
+    kill never leaks children or shared-memory segments.  Work mapped so
+    far is abandoned; journal-backed callers resume it on restart.
+    """
+
+    def __init__(self, pending_items: int):
+        self.pending_items = pending_items
+        super().__init__(
+            f"parallel map interrupted by shutdown request with "
+            f"{pending_items} item(s) unfinished; journaled work resumes "
+            "on restart"
         )
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import logging
 import re
+import threading
 import time
 from typing import Callable, Iterator
 
@@ -314,25 +315,43 @@ class RuntimeGuard:
 #: never allocates on the hot path.
 NULL_GUARD = RuntimeGuard()
 
-_installed: list[RuntimeGuard] = []
+
+class _GuardStack(threading.local):
+    """Per-thread stack of installed guards.
+
+    Thread-local so concurrent jobs (the simulation service runs one
+    sweep per scheduler worker thread) each see their *own* deadline and
+    memory budget — a shared stack would hand thread A the guard thread
+    B pushed last.  Fork still inherits correctly: the forking thread
+    survives into the child with its thread-local state intact, so a
+    worker process sees the same remaining budget as its parent.
+    """
+
+    def __init__(self) -> None:
+        self.stack: list[RuntimeGuard] = []
+
+
+_installed = _GuardStack()
 
 
 def current_guard() -> RuntimeGuard:
-    """The ambient guard (the permissive :data:`NULL_GUARD` by default)."""
-    return _installed[-1] if _installed else NULL_GUARD
+    """The ambient guard of this thread (:data:`NULL_GUARD` by default)."""
+    stack = _installed.stack
+    return stack[-1] if stack else NULL_GUARD
 
 
 @contextlib.contextmanager
 def use_guard(guard: RuntimeGuard) -> Iterator[RuntimeGuard]:
-    """Install ``guard`` as the ambient guard for the ``with`` block.
+    """Install ``guard`` as this thread's ambient guard for the block.
 
-    Nestable (inner guards shadow outer ones) and fork-friendly: a
+    Nestable (inner guards shadow outer ones), thread-scoped (each
+    scheduler worker governs only its own job), and fork-friendly: a
     worker forked inside the block inherits the installed guard, and
     because ``time.monotonic`` is comparable across fork the child sees
     the same remaining deadline as its parent.
     """
-    _installed.append(guard)
+    _installed.stack.append(guard)
     try:
         yield guard
     finally:
-        _installed.pop()
+        _installed.stack.pop()

@@ -24,17 +24,54 @@ import hashlib
 import json
 import logging
 import os
+import time
 from pathlib import Path
-from typing import Any, Iterator
+from typing import IO, Any, Iterator
 
 from repro.runtime.errors import (
     JournalCorruptError,
+    JournalLockedError,
     JournalMismatchError,
 )
+
+try:  # pragma: no cover - present on every POSIX CPython
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - Windows et al.: locking is a no-op
+    _fcntl = None  # type: ignore[assignment]
 
 log = logging.getLogger(__name__)
 
 JOURNAL_FORMAT = "repro.run-journal/1"
+
+#: seconds an append waits for a contended advisory lock before raising
+#: :class:`~repro.runtime.errors.JournalLockedError` (appends are
+#: one fsynced line, so honest contention clears in microseconds)
+DEFAULT_LOCK_TIMEOUT = 5.0
+
+#: polling interval while waiting on a contended lock
+_LOCK_POLL_SECONDS = 0.02
+
+
+def _lock_append_handle(fh: IO[str], path: Path, timeout: float) -> None:
+    """Take the advisory append lock on ``fh`` (best-effort, exclusive).
+
+    Uses non-blocking ``flock`` in a short retry loop so a contended
+    journal raises the typed :class:`JournalLockedError` instead of
+    parking the thread unboundedly.  On platforms without ``fcntl`` the
+    lock is a documented no-op — appends there rely on the caller
+    serialising writers, exactly as before this lock existed.
+    """
+    if _fcntl is None:
+        return
+    deadline = time.monotonic() + max(timeout, 0.0)
+    while True:
+        try:
+            _fcntl.flock(fh.fileno(), _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise JournalLockedError(path, timeout) from None
+            time.sleep(_LOCK_POLL_SECONDS)
 
 
 def _record_checksum(record: dict[str, Any]) -> str:
@@ -50,10 +87,15 @@ class RunJournal:
     path:
         Journal file location.  The file is created lazily on the first
         :meth:`ensure_header` / :meth:`append`.
+    lock_timeout:
+        Seconds an append waits for the advisory file lock held by a
+        concurrent writer before raising
+        :class:`~repro.runtime.errors.JournalLockedError`.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, lock_timeout: float = DEFAULT_LOCK_TIMEOUT):
         self.path = Path(path)
+        self.lock_timeout = lock_timeout
 
     # -- writing ------------------------------------------------------
 
@@ -129,7 +171,11 @@ class RunJournal:
         # The journal is the one sanctioned non-atomic writer: an
         # fsynced append is the point (atomic replace would rewrite the
         # whole file per record), and repair() handles the torn tail.
+        # The advisory flock (released with the handle) keeps two
+        # writers — daemon worker threads, or two processes sharing a
+        # store directory — from interleaving halves of a line.
         with open(self.path, "a", encoding="utf-8") as fh:  # repro-lint: disable=RPR001
+            _lock_append_handle(fh, self.path, self.lock_timeout)
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())

@@ -1,0 +1,52 @@
+"""Typed errors for the simulation service.
+
+The HTTP layer maps these onto status codes (``SpecError`` -> 400,
+``JobNotFoundError`` -> 404, ``JobStateError`` -> 409) so handler code
+never invents ad-hoc status logic, and the scheduler distinguishes "the
+job asked to stop" (:class:`JobCancelled`) from a genuine failure.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for simulation-service failures."""
+
+
+class SpecError(ServiceError, ValueError):
+    """A submitted job spec is malformed or out of range.
+
+    Subclasses :class:`ValueError` so spec validation helpers compose
+    with plain ``float()``/``int()`` coercion failures.
+    """
+
+
+class JobNotFoundError(ServiceError, KeyError):
+    """No job with the requested id exists in the store."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"no such job: {job_id!r}")
+
+
+class JobStateError(ServiceError):
+    """A job operation is invalid in the job's current state.
+
+    Cancelling a finished job, or fetching the result of one that has
+    not completed, lands here — a conflict, not a missing resource.
+    """
+
+
+class JobCancelled(ServiceError):
+    """Raised inside a running job at its next cell boundary.
+
+    Cooperative, like :class:`~repro.runtime.errors.DeadlineExceeded`:
+    the executor's progress callback raises this between cells, so every
+    finished cell is already journaled and a *suspended* (as opposed to
+    cancelled) job resumes losslessly on daemon restart.
+    """
+
+    def __init__(self, job_id: str, reason: str = "cancelled"):
+        self.job_id = job_id
+        self.reason = reason
+        super().__init__(f"job {job_id} {reason}")

@@ -1,0 +1,30 @@
+# module: repro.service.daemon
+"""Golden fixture for RPR012 (kernel called outside the executor)."""
+
+from repro.experiments import build_environment, run_sweep
+from repro.experiments.sweeps import run_sweep as sweep_alias
+
+
+def handler_runs_sweep_inline(env):
+    return run_sweep(env)  # expect: RPR012
+
+
+def handler_builds_environment(n):
+    return build_environment(n=n)  # expect: RPR012
+
+
+def handler_uses_alias(env):
+    return sweep_alias(env)  # expect: RPR012
+
+
+def waived_inline_kernel(env):
+    return run_sweep(env)  # repro-lint: disable=RPR012 -- fixture waiver
+
+
+def clean_marshals_to_scheduler(scheduler, spec):
+    # the sanctioned shape: hand the spec to the scheduler, never run it
+    return scheduler.submit(spec)
+
+
+def clean_unrelated_call(store, job_id):
+    return store.get(job_id)

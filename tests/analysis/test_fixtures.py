@@ -21,6 +21,10 @@ FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
 
 _EXPECT = re.compile(r"expect:\s*(RPR\d{3})")
 
+# Optional first-line marker: ``# module: repro.service.daemon`` gives a
+# fixture a module identity so package-scoped rules (RPR012) can fire.
+_MODULE = re.compile(r"^#\s*module:\s*([\w.]+)\s*$", re.MULTILINE)
+
 
 def expected_findings(text: str) -> list[tuple[int, str]]:
     out = []
@@ -31,10 +35,17 @@ def expected_findings(text: str) -> list[tuple[int, str]]:
     return sorted(out)
 
 
+def fixture_module(text: str) -> str | None:
+    match = _MODULE.search(text)
+    return match.group(1) if match else None
+
+
 def test_fixture_suite_is_complete():
     """One golden fixture per rule code (plus the RPR010 meta-rule)."""
     covered = {f.name[:6].upper() for f in FIXTURES}
-    expected = {f"RPR00{i}" for i in range(1, 10)} | {"RPR010", "RPR011"}
+    expected = (
+        {f"RPR00{i}" for i in range(1, 10)} | {"RPR010", "RPR011", "RPR012"}
+    )
     assert covered >= expected
 
 
@@ -43,7 +54,7 @@ def test_fixture_findings_match_markers(fixture: Path):
     text = fixture.read_text(encoding="utf-8")
     expected = expected_findings(text)
     assert expected, f"{fixture.name} has no expect markers — not a golden fixture"
-    findings = lint_source(text, path=fixture.name, module=None)
+    findings = lint_source(text, path=fixture.name, module=fixture_module(text))
     got = sorted((f.line, f.code) for f in findings)
     assert got == expected
 

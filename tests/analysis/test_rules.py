@@ -98,6 +98,42 @@ class TestUnboundedBlockingScoping:
         assert codes(self.SOURCE, module=None) == ["RPR011"]
 
 
+class TestInlineKernelScoping:
+    SOURCE = (
+        "from repro.experiments import run_sweep\n"
+        "def handler(env):\n"
+        "    return run_sweep(env)\n"
+    )
+
+    def test_flagged_in_service_package(self):
+        assert codes(self.SOURCE, module="repro.service.daemon") == ["RPR012"]
+        assert codes(self.SOURCE, module="repro.service.scheduler") == ["RPR012"]
+
+    def test_exempt_in_executor(self):
+        assert codes(self.SOURCE, module="repro.service.executor") == []
+
+    def test_not_scoped_outside_service(self):
+        # the CLI and experiments call kernels directly by design
+        assert codes(self.SOURCE, module="repro.cli") == []
+        assert codes(self.SOURCE, module=None) == []
+
+    def test_alias_resolution(self):
+        source = (
+            "from repro.experiments.sweeps import run_sweep as go\n"
+            "def handler(env):\n"
+            "    return go(env)\n"
+        )
+        assert codes(source, module="repro.service.daemon") == ["RPR012"]
+
+    def test_environment_build_is_a_kernel(self):
+        source = (
+            "from repro.experiments.setup import build_environment\n"
+            "def handler(n):\n"
+            "    return build_environment(n=n)\n"
+        )
+        assert codes(source, module="repro.service.store") == ["RPR012"]
+
+
 class TestRuleSelection:
     def test_select_runs_only_named_rules(self):
         rules = get_rules(select=frozenset({"RPR001"}))

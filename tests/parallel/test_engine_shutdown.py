@@ -1,0 +1,118 @@
+"""Graceful ProcessEngine shutdown (satellite of the job daemon).
+
+The daemon's SIGTERM path calls :func:`shutdown_active_engines`; a
+running ``map`` must stop at its next dispatch cycle, leave no worker
+processes behind, and surface the interruption as the typed
+:class:`~repro.runtime.errors.EngineShutdownError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.parallel.engine import (
+    ProcessEngine,
+    shutdown_active_engines,
+)
+from repro.runtime.errors import EngineShutdownError
+from repro.telemetry.metrics import set_registry
+from repro.telemetry.spans import set_tracer
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method",
+)
+
+
+def slow_item(seconds: float):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestRequestShutdown:
+    @needs_fork
+    def test_map_raises_typed_error_and_reaps_workers(self):
+        engine = ProcessEngine(workers=2, partitions_per_worker=2)
+        failure: list[BaseException] = []
+
+        def run_map():
+            try:
+                engine.map(slow_item, [0.2] * 16)
+            except BaseException as exc:  # collected for the assertion below
+                failure.append(exc)
+
+        mapper = threading.Thread(target=run_map)
+        mapper.start()
+        deadline = time.monotonic() + 30
+        while not multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        engine.request_shutdown()
+        mapper.join(timeout=120)
+        assert not mapper.is_alive()
+
+        assert len(failure) == 1
+        exc = failure[0]
+        assert isinstance(exc, EngineShutdownError)
+        assert exc.pending_items > 0  # it really was interrupted mid-map
+
+        # no leaked worker processes
+        deadline = time.monotonic() + 30
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_pre_request_stops_the_next_map(self):
+        engine = ProcessEngine(workers=2)
+        engine.request_shutdown()
+        assert engine.shutdown_requested
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        with pytest.raises(EngineShutdownError):
+            engine.map(slow_item, [0.0] * 8)
+
+    def test_serial_fallback_is_not_interruptible_but_completes(self):
+        # workers=1 short-circuits to SerialEngine: a shutdown request
+        # set beforehand must not wedge or corrupt it
+        engine = ProcessEngine(workers=1)
+        engine.request_shutdown()
+        assert engine.map(slow_item, [0.0, 0.0]) == [0.0, 0.0]
+
+
+class TestShutdownActiveEngines:
+    @needs_fork
+    def test_signals_every_engine_with_a_live_map(self):
+        registry, _ = telemetry.enable()
+        try:
+            engine = ProcessEngine(workers=2, partitions_per_worker=2)
+            failure: list[BaseException] = []
+
+            def run_map():
+                try:
+                    engine.map(slow_item, [0.2] * 16)
+                except BaseException as exc:
+                    failure.append(exc)
+
+            mapper = threading.Thread(target=run_map)
+            mapper.start()
+            deadline = time.monotonic() + 30
+            while not multiprocessing.active_children() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            signalled = shutdown_active_engines()
+            assert signalled >= 1
+            mapper.join(timeout=120)
+            assert failure and isinstance(failure[0], EngineShutdownError)
+            counters = registry.snapshot()["counters"]
+            assert counters.get("engine.shutdowns", 0) >= 1
+        finally:
+            set_registry(None)
+            set_tracer(None)
+
+    def test_no_live_maps_means_no_signals(self):
+        # engines register only while mapping, so an idle process-wide
+        # sweep signals nothing (and certainly does not raise)
+        assert shutdown_active_engines() == 0

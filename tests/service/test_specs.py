@@ -1,0 +1,113 @@
+"""Spec validation and the three digest scopes (work, env, cell)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.errors import SpecError
+from repro.service.specs import (
+    cell_scope_digest,
+    env_digest,
+    parse_spec,
+    spec_digest,
+    spec_to_dict,
+)
+
+
+class TestParsing:
+    def test_empty_payload_gets_defaults(self):
+        spec = parse_spec({})
+        assert spec.kind == "sweep"
+        assert spec.n == 1000
+        assert spec.policy == "security_3rd"
+        assert spec.thetas == (0.0, 0.05, 0.10, 0.20, 0.30, 0.50)
+        assert spec.adopter_sets == ()
+        assert spec.priority == 0
+
+    def test_round_trips_through_dict(self):
+        spec = parse_spec({"n": 80, "thetas": [0.0, 0.1], "priority": 3})
+        assert parse_spec(spec_to_dict(spec)) == spec
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec([1, 2, 3])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec fields: theta_grid"):
+            parse_spec({"theta_grid": [0.0]})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            parse_spec({"kind": "projection"})
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec({"n": "many"})
+        with pytest.raises(SpecError):
+            parse_spec({"thetas": "0.0,0.1"})
+        with pytest.raises(SpecError):
+            parse_spec({"thetas": [0.0, "x"]})
+        with pytest.raises(SpecError):
+            parse_spec({"adopter_sets": [1, 2]})
+
+    def test_ranges_enforced(self):
+        with pytest.raises(SpecError):
+            parse_spec({"x": 1.5})
+        with pytest.raises(SpecError):
+            parse_spec({"priority": 10})
+        with pytest.raises(SpecError):
+            parse_spec({"deadline": 0})
+        with pytest.raises(SpecError):
+            parse_spec({"thetas": [0.0, 0.0]})
+
+    def test_oversized_grid_rejected_at_submit(self):
+        with pytest.raises(SpecError, match="cell limit"):
+            parse_spec({"thetas": [i / 10000 for i in range(2000)]})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec({"policy": "shortest_path_first"})
+
+    def test_policy_aliases_canonicalise(self):
+        a = parse_spec({"policy": "security_3rd"})
+        b = parse_spec({"policy": "gao-rexford"})
+        assert b.policy == "security_3rd"
+        assert spec_digest(a) == spec_digest(b)
+
+
+class TestDigests:
+    def test_scheduling_metadata_excluded_from_work_identity(self):
+        base = parse_spec({"n": 80})
+        tweaked = parse_spec({"n": 80, "priority": 5, "deadline": 60.0})
+        assert spec_digest(base) == spec_digest(tweaked)
+
+    def test_work_identity_tracks_the_grid(self):
+        assert spec_digest(parse_spec({"thetas": [0.0]})) != spec_digest(
+            parse_spec({"thetas": [0.0, 0.1]})
+        )
+
+    def test_env_digest_ignores_the_grid(self):
+        a = parse_spec({"n": 80, "thetas": [0.0]})
+        b = parse_spec({"n": 80, "thetas": [0.0, 0.1, 0.2]})
+        assert env_digest(a) == env_digest(b)
+        assert env_digest(a) != env_digest(parse_spec({"n": 81, "thetas": [0.0]}))
+
+    def test_cell_scope_shared_across_overlapping_grids(self):
+        # the property the ResultCache depends on: two different sweeps
+        # on one environment share a cell scope...
+        a = parse_spec({"n": 80, "thetas": [0.0, 0.05]})
+        b = parse_spec({"n": 80, "thetas": [0.05, 0.30], "adopter_sets": ["top-5"]})
+        assert cell_scope_digest(a) == cell_scope_digest(b)
+
+    def test_cell_scope_splits_on_cell_value_inputs(self):
+        # ...but never across anything that changes a cell's value
+        base = parse_spec({"n": 80})
+        assert cell_scope_digest(base) != cell_scope_digest(
+            parse_spec({"n": 80, "stub_breaks_ties": False})
+        )
+        assert cell_scope_digest(base) != cell_scope_digest(
+            parse_spec({"n": 80, "max_rounds": 50})
+        )
+        assert cell_scope_digest(base) != cell_scope_digest(
+            parse_spec({"n": 80, "policy": "security_1st"})
+        )
