@@ -51,15 +51,19 @@ bench-json:
 		--benchmark-json=BENCH_$(shell date +%Y%m%d).json
 
 # --require guards the gate's coverage: the newest snapshot must still
-# contain the core kernels and the per-policy kernels (default-policy
-# variants included) or the comparison fails outright.  --stat min
-# because microsecond benches on shared machines have mean runtimes
-# dominated by scheduler outliers; --only kernel because the gate is a
-# *kernel* regression gate (artifact benches run once and can't clear
-# a 10% bar on shared hardware).
+# contain the core kernels, the per-policy kernels (default-policy
+# variants included) and the per-backend kernels or the comparison
+# fails outright.  --stat min because microsecond benches on shared
+# machines have mean runtimes dominated by scheduler outliers; --only
+# kernel because the gate is a *kernel* regression gate (artifact
+# benches run once and can't clear a 10% bar on shared hardware).
+# --speedup pins the compiled tier's headline: batched trees on the
+# cext backend at least 3x faster than numpy in the same snapshot.
 bench-compare:
 	python scripts/bench_compare.py $(BENCH_OLD) $(BENCH_NEW) \
-		--require kernel --require kernel_policy --stat min --only kernel
+		--require kernel --require kernel_policy \
+		--require kernel_backend --stat min --only kernel \
+		--speedup "kernel_backend_trees[cext]:kernel_backend_trees[numpy]:3.0"
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only

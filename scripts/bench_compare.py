@@ -24,6 +24,13 @@ file has no benchmark containing the substring — so a rename or an
 accidentally-skipped kernel bench cannot silently drop coverage the
 gate is supposed to provide (e.g. ``--require kernel_policy`` keeps the
 default-policy kernels under the regression threshold).
+
+``--speedup FAST:SLOW:RATIO`` (repeatable) asserts a *within-file*
+ratio on the current snapshot: the benchmark whose name contains FAST
+must be at least RATIO times faster than the one containing SLOW.  This
+is how the compiled kernel tier's headline claim (>= 3x over numpy on
+batched trees) is pinned to the committed snapshot instead of living in
+prose.
 """
 
 from __future__ import annotations
@@ -83,6 +90,46 @@ def compare(
     return regressions
 
 
+def _find_one(stats: dict[str, float], needle: str) -> tuple[str, float] | None:
+    """The unique benchmark containing ``needle`` (shortest name wins ties)."""
+    matches = sorted((name for name in stats if needle in name), key=len)
+    if not matches:
+        return None
+    return matches[0], stats[matches[0]]
+
+
+def check_speedups(stats: dict[str, float], specs: list[str]) -> list[str]:
+    """Verify each ``FAST:SLOW:RATIO`` spec; return failure messages."""
+    failures: list[str] = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            failures.append(f"malformed --speedup {spec!r} (want FAST:SLOW:RATIO)")
+            continue
+        fast_needle, slow_needle, raw_ratio = parts
+        try:
+            want = float(raw_ratio)
+        except ValueError:
+            failures.append(f"malformed --speedup ratio {raw_ratio!r}")
+            continue
+        fast = _find_one(stats, fast_needle)
+        slow = _find_one(stats, slow_needle)
+        if fast is None or slow is None:
+            missing = fast_needle if fast is None else slow_needle
+            failures.append(f"--speedup {spec}: no benchmark matches {missing!r}")
+            continue
+        got = slow[1] / fast[1] if fast[1] else float("inf")
+        print(
+            f"speedup {fast[0]} vs {slow[0]}: {got:.2f}x (required >= {want:.2f}x)"
+        )
+        if got < want:
+            failures.append(
+                f"--speedup {spec}: {fast[0]} is only {got:.2f}x faster than "
+                f"{slow[0]} (required >= {want:.2f}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="older BENCH_*.json")
@@ -105,8 +152,18 @@ def main(argv: list[str] | None = None) -> int:
         help="statistic under comparison; min resists scheduler outliers "
              "on contended machines (default mean)",
     )
+    parser.add_argument(
+        "--speedup", action="append", default=[], metavar="FAST:SLOW:RATIO",
+        help="assert the current benchmark containing FAST runs at least "
+             "RATIO times faster than the one containing SLOW (repeatable)",
+    )
     args = parser.parse_args(argv)
     current = load_stats(args.current, args.stat)
+    speedup_failures = check_speedups(current, args.speedup)
+    if speedup_failures:
+        for failure in speedup_failures:
+            print(failure)
+        return 1
     missing = [
         needle for needle in args.require
         if not any(needle in name for name in current)

@@ -113,6 +113,8 @@ class Rule:
     #   visit_classdef(ctx, node: ast.ClassDef)
     #   visit_excepthandler(ctx, node: ast.ExceptHandler)
     #   visit_assign(ctx, node: ast.Assign)
+    #   visit_import(ctx, node: ast.Import)
+    #   visit_importfrom(ctx, node: ast.ImportFrom)
 
 
 _HOOKS: dict[type, str] = {
@@ -122,6 +124,8 @@ _HOOKS: dict[type, str] = {
     ast.ClassDef: "visit_classdef",
     ast.ExceptHandler: "visit_excepthandler",
     ast.Assign: "visit_assign",
+    ast.Import: "visit_import",
+    ast.ImportFrom: "visit_importfrom",
 }
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)

@@ -496,6 +496,54 @@ class InlineKernelCall(Rule):
             ctx.report(self, node)
 
 
+class DirectKernelImplImport(Rule):
+    code = "RPR013"
+    name = "direct-kernel-impl-import"
+    message = (
+        "kernel implementation module imported directly; go through the "
+        "repro.routing.backends registry (kernels_for/resolve_backend) so "
+        "selection, degradation and telemetry stay in one place"
+    )
+    rationale = (
+        "PR 8 made the batched kernels pluggable: numpy is the differential "
+        "ground truth, compiled tiers (numba, cext) are optional and may be "
+        "missing or fail to build on a given host.  Importing numpy_impl/"
+        "numba_impl/cext_impl/_loops directly pins one implementation, skips "
+        "the registry's lazy loading, ladder degradation and per-backend "
+        "telemetry, and crashes on hosts without that backend's toolchain."
+    )
+
+    _PACKAGE = "repro.routing.backends"
+    #: implementation submodules — the package itself (the registry) is
+    #: the sanctioned import
+    _IMPLS = frozenset({"numpy_impl", "numba_impl", "cext_impl", "_loops"})
+
+    def _check(self, ctx: FileContext, node: ast.AST, dotted: str) -> None:
+        if ctx.in_package(self._PACKAGE):
+            return
+        if dotted.startswith(self._PACKAGE + "."):
+            tail = dotted[len(self._PACKAGE) + 1:].partition(".")[0]
+            if tail in self._IMPLS:
+                ctx.report(self, node)
+
+    def visit_import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(ctx, node, alias.name)
+
+    def visit_importfrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level:
+            if not ctx.module:
+                return
+            anchor = ctx.module.rsplit(".", node.level)[0]
+            module = f"{anchor}.{module}" if module else anchor
+        for alias in node.names:
+            if alias.name == "*":
+                self._check(ctx, node, module)
+                continue
+            self._check(ctx, node, f"{module}.{alias.name}" if module else alias.name)
+
+
 #: Registration order is cosmetic only — findings sort by location.
 ALL_RULES: tuple[Rule, ...] = (
     NonAtomicWrite(),
@@ -509,6 +557,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ImportTimeStateMutation(),
     UnboundedBlockingCall(),
     InlineKernelCall(),
+    DirectKernelImplImport(),
 )
 
 

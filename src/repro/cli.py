@@ -34,6 +34,8 @@ from repro.experiments import (
     run_cp_vs_tier1,
     run_sweep,
 )
+from repro.routing import backends as kernel_backends
+from repro.routing.backends import available_backends
 from repro.routing.policy import available_policies
 from repro.routing.tiebreak import (
     collect_tiebreak_stats,
@@ -57,6 +59,16 @@ EXIT_DEADLINE = 3
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=1000, help="number of ASes")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper-scale topology preset "
+                             "(36,964 ASes, the Cyclops snapshot's mixture); "
+                             "overrides --n — pair with --destinations "
+                             "unless you have hundreds of GiB of RAM")
+    parser.add_argument("--destinations", type=int, default=None, metavar="K",
+                        help="restrict the routing cache to a uniform sample "
+                             "of K destinations (sampled estimators of the "
+                             "all-destination utilities; required in practice "
+                             "at paper scale)")
     parser.add_argument("--seed", type=int, default=2011, help="topology seed")
     parser.add_argument("--x", type=float, default=0.10, help="CP traffic fraction")
     parser.add_argument("--theta", type=float, default=0.05, help="deployment threshold")
@@ -67,6 +79,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="routing policy driving route selection "
                              f"(one of: {', '.join(available_policies())}; "
                              "aliases like 'gao-rexford' also work)")
+    parser.add_argument("--kernel-backend", default=None, metavar="NAME",
+                        choices=[*available_backends(), kernel_backends.AUTO],
+                        help="kernel backend for the batched routing kernels "
+                             f"(one of: {', '.join(available_backends())}, "
+                             "or 'auto' to prefer a compiled tier; default: "
+                             f"${kernel_backends.ENV_VAR} or numpy; an "
+                             "unusable compiled backend degrades to numpy)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the merged metrics snapshot (counters, "
                              "gauges, histograms) to PATH as JSON")
@@ -111,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--journal instead of recomputing them")
             p.add_argument("--out", default=None, metavar="PATH",
                            help="also write the table to PATH (atomic)")
+            p.add_argument("--thetas", default=None, metavar="T1,T2,...",
+                           help="comma-separated theta values to sweep "
+                                "(default: the paper's grid); a single "
+                                "value runs one column — the paper-scale "
+                                "single-cell mode")
+            p.add_argument("--adopter-sets", default=None, metavar="A,B,...",
+                           help="comma-separated adopter-set names to sweep "
+                                "(a subset of the Fig-8 menu, e.g. "
+                                "'top-5,5-cps'; default: all)")
     sv = sub.add_parser(
         "serve",
         help="run the simulation service: a long-lived daemon with a JSON "
@@ -193,9 +221,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     exit_code = 0
     try:
         with use_guard(_build_guard(args)):
+            config = None
+            if args.paper_scale:
+                from repro.topology.generator import paper_scale_config
+
+                config = paper_scale_config(seed=args.seed)
             env = build_environment(
                 n=args.n, seed=args.seed, x=args.x, augmented=args.augmented,
-                workers=args.workers, policy=args.policy,
+                workers=args.workers, policy=args.policy, config=config,
+                sample_destinations=args.destinations,
+                backend=args.kernel_backend,
             )
             command = args.command.replace("-", "_")
             handler = globals()[f"_cmd_{command}"]
@@ -262,8 +297,21 @@ def _cmd_sweep(env, args) -> None:
                 f"journal {args.journal} already exists; "
                 f"pass --resume to continue it or choose a fresh path"
             )
+    kwargs = {}
+    if args.thetas:
+        kwargs["thetas"] = [float(t) for t in args.thetas.split(",") if t]
+    if args.adopter_sets:
+        menu = env.adopter_sets()
+        names = [a for a in args.adopter_sets.split(",") if a]
+        unknown = [a for a in names if a not in menu]
+        if unknown:
+            raise SystemExit(
+                f"unknown adopter set(s) {', '.join(unknown)}; "
+                f"valid names: {', '.join(menu)}"
+            )
+        kwargs["adopter_sets"] = {name: menu[name] for name in names}
     try:
-        cells = run_sweep(env, journal=journal)
+        cells = run_sweep(env, journal=journal, **kwargs)
     except PersistenceError as exc:
         # journal mismatch/corruption and policy-mismatch SchemaError all
         # surface as one-line messages, not tracebacks
@@ -418,9 +466,9 @@ def _cmd_graph_stats(env, args) -> None:
     print("top-5 by degree:", top_by_degree(env.graph, 5))
     cs = env.cache.stats()
     print(format_table(
-        ["policy", "hits", "misses", "builds", "installs", "warm s",
+        ["policy", "backend", "hits", "misses", "builds", "installs", "warm s",
          "cached", "fraction", "arena MiB", "state rebuilds"],
-        [[cs.policy, cs.hits, cs.misses, cs.builds, cs.installs,
+        [[cs.policy, cs.backend, cs.hits, cs.misses, cs.builds, cs.installs,
           f"{cs.warm_seconds:.2f}", f"{cs.cached}/{cs.total}",
           f"{cs.cached_fraction:.1%}", f"{cs.arena_bytes / 2**20:.1f}",
           cs.state_rebuilds]],

@@ -75,6 +75,7 @@ def build_environment(
     config: TopologyConfig | None = None,
     sample_destinations: int | None = None,
     policy: str = "security_3rd",
+    backend: str | None = None,
 ) -> ExperimentEnv:
     """Generate a topology, apply the traffic model, and warm the cache.
 
@@ -82,6 +83,11 @@ def build_environment(
     the Appendix-D CP-peering augmentation before caching.  ``policy``
     names the routing-policy registry entry the cache is bound to (see
     :func:`repro.routing.policy.available_policies`).
+
+    ``backend`` names the kernel backend the cache dispatches the
+    batched routing kernels through (see
+    :mod:`repro.routing.backends`); ``None`` defers to the
+    ``SBGP_KERNEL_BACKEND`` environment variable, then numpy.
 
     ``sample_destinations`` restricts the routing cache to a uniform
     sample of that many destinations: utilities (and hence decisions)
@@ -105,7 +111,7 @@ def build_environment(
     if sample_destinations is not None and sample_destinations < graph.n:
         rng = random.Random(seed + 17)
         destinations = sorted(rng.sample(range(graph.n), sample_destinations))
-    cache = RoutingCache(graph, destinations=destinations, policy=policy)
+    cache = RoutingCache(graph, destinations=destinations, policy=policy, backend=backend)
     if warm:
         guard = current_guard()
         estimate = RoutingArena.estimate_bytes(len(cache.destinations), graph.n)

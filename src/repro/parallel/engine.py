@@ -583,6 +583,7 @@ class _DestRoutingBuilder:
         transform=None,
         node_secure=None,
         breaks_ties=None,
+        backend: str | None = None,
     ):
         self.graph = graph
         self.compiled = compiled
@@ -590,6 +591,9 @@ class _DestRoutingBuilder:
         self.transform = transform
         self.node_secure = node_secure
         self.breaks_ties = breaks_ties
+        # the backend travels by *name* (plain pickle data); the worker
+        # process resolves it locally and may degrade to numpy there
+        self.backend = backend
 
     def build_many(self, dests):
         from repro.routing.policy import get_policy
@@ -600,6 +604,7 @@ class _DestRoutingBuilder:
             self.compiled,
             node_secure=self.node_secure,
             breaks_ties=self.breaks_ties,
+            backend=self.backend,
         )
         if self.transform is not None:
             routings = [self.transform(dr) for dr in routings]
@@ -636,11 +641,14 @@ class _PartitionArenaBuilder:
         node_secure=None,
         breaks_ties=None,
         state_key=None,
+        backend: str | None = None,
     ):
         self.build = _DestRoutingBuilder(
-            graph, compiled, policy, transform, node_secure, breaks_ties
+            graph, compiled, policy, transform, node_secure, breaks_ties,
+            backend=backend,
         )
         self.state_key = state_key
+        self.backend = backend
 
     def __call__(self, dests: tuple[int, ...]):
         from repro.parallel.shm import publish_arena
@@ -661,6 +669,7 @@ class _PartitionArenaBuilder:
             routings,
             policy=get_policy(self.build.policy).name,
             state_key=self.state_key,
+            backend=self.backend or "numpy",
         )
         published = publish_arena(arena, dests=tuple(dests))
         if published is None:
@@ -727,7 +736,7 @@ def parallel_warm_cache(cache, workers: int = 1, transport: str = "auto") -> Non
     node_secure, breaks_ties = cache.current_state()
     build = _DestRoutingBuilder(
         cache.graph, cache.compiled, cache.policy.name, cache.transform,
-        node_secure, breaks_ties,
+        node_secure, breaks_ties, backend=cache.backend_name,
     )
     for dest, dr in zip(todo, engine.map(build, todo)):
         cache.install(dest, dr)
@@ -789,6 +798,7 @@ def _warm_via_shm(
     build = _PartitionArenaBuilder(
         cache.graph, cache.compiled, cache.policy.name, cache.transform,
         node_secure, breaks_ties, cache.state_key,
+        backend=cache.backend_name,
     )
     pickled_partitions = 0
     for result in engine.map(build, chunks):

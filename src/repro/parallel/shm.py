@@ -63,7 +63,9 @@ class ArenaHandle:
     gone — the crash-recovery path of the parallel warm.  ``policy``
     and ``state_key`` carry the arena's provenance metadata across the
     process boundary so an attached arena is exactly as restricted as
-    a locally-built one.
+    a locally-built one; ``backend`` carries the kernel-backend name so
+    shm peers dispatch the batched kernels the same way (the consumer
+    still degrades locally if that backend is unusable there).
     """
 
     name: str
@@ -73,6 +75,7 @@ class ArenaHandle:
     dests: tuple[int, ...]
     policy: str = "security_3rd"
     state_key: str | None = None
+    backend: str = "numpy"
 
 
 def shm_available() -> bool:
@@ -130,6 +133,7 @@ def publish_arena(arena: RoutingArena, dests: tuple[int, ...] | None = None):
         dests=tuple(int(d) for d in arena.dest_ids) if dests is None else tuple(dests),
         policy=arena.policy,
         state_key=arena.state_key,
+        backend=arena.backend,
     )
     return handle, segment
 
@@ -165,6 +169,7 @@ def attach_arena(handle: ArenaHandle) -> RoutingArena:
             arena = RoutingArena.from_buffer(
                 handle.graph_n, segment.buf, list(handle.layout),
                 policy=handle.policy, state_key=handle.state_key,
+                backend=handle.backend,
             )
             att = _attached[handle.name] = _Attachment(segment, arena)
             get_registry().counter("parallel.shm.attaches").inc()
@@ -254,6 +259,7 @@ def consume_published_arena(handle: ArenaHandle) -> RoutingArena | None:
         arena = RoutingArena.from_buffer(
             handle.graph_n, segment.buf, list(handle.layout), copy=True,
             policy=handle.policy, state_key=handle.state_key,
+            backend=handle.backend,
         )
     finally:
         segment.close()

@@ -45,8 +45,9 @@ import dataclasses
 
 import numpy as np
 
+from repro.routing import backends as kernel_backends
 from repro.routing.compiled import gather_neighbors
-from repro.routing.fast_tree import _BLOCKED, _POS_MASK, RoutingTree
+from repro.routing.fast_tree import RoutingTree
 from repro.routing.tree import DestRouting, compute_tie_keys
 from repro.telemetry.metrics import get_registry
 
@@ -136,6 +137,7 @@ class RoutingArena:
         arrays: dict[str, np.ndarray],
         policy: str = "security_3rd",
         state_key: str | None = None,
+        backend: str = "numpy",
     ):
         self.graph_n = graph_n
         #: registry name of the routing policy the structures were built
@@ -144,6 +146,12 @@ class RoutingArena:
         #: deployment-state digest for state-dependent policies (None
         #: for state-independent structures, which serve every state)
         self.state_key = state_key
+        #: kernel backend name the batched kernels dispatch through
+        #: (:mod:`repro.routing.backends`); plain data, so it travels
+        #: with the arena through shared memory and job specs.  The
+        #: *consuming* process resolves it — and degrades to numpy —
+        #: at call time.
+        self.backend = backend
         for name, dtype in ARENA_FIELDS:
             arr = arrays[name]
             if str(arr.dtype) != dtype:
@@ -162,13 +170,15 @@ class RoutingArena:
         routings: list[DestRouting],
         policy: str = "security_3rd",
         state_key: str | None = None,
+        backend: str = "numpy",
     ) -> "RoutingArena":
         """Pack per-destination :class:`DestRouting` structures.
 
         ``routings[k]`` must be the structure for ``dest_ids[k]``; the
         slot order of the arena is the order given here.  ``policy`` /
-        ``state_key`` are carried as metadata so a shipped arena can
-        never be re-used under a different policy or deployment state.
+        ``state_key`` / ``backend`` are carried as metadata so a shipped
+        arena can never be re-used under a different policy or
+        deployment state, and so kernel dispatch follows the arena.
         """
         if len(dest_ids) != len(routings):
             raise ValueError("dest_ids and routings must align")
@@ -221,6 +231,7 @@ class RoutingArena:
             },
             policy=policy,
             state_key=state_key,
+            backend=backend,
         )
         registry = get_registry()
         registry.counter("routing.arena.builds").inc()
@@ -280,8 +291,15 @@ class RoutingArena:
         level_pool = 4 * num_dests * 24    # level_starts: one int32 per level
         total = dense + csr_pools + cand_pools + tables + level_pool
         if include_level_major:
-            # nodes/sizes/cands/keys/starts/node_slot/row_of_edge stacks
+            # nodes/sizes/cands/keys/starts/node_slot/row_of_edge stacks,
+            # plus the per-level node_ptr/edge_ptr segment tables (two
+            # int64[num_dests+1] per level; 24 levels matches the
+            # level_pool allowance above).  The tables are what grows
+            # with num_dests alone, so at paper scale (36K dests) they
+            # are no longer noise — re-validated at N=36964 by
+            # tests/runtime/test_guard_chaos.py.
             total += reach * (4 + 8 + 8 + 4) + cands * (4 + 8 + 8)
+            total += 2 * 8 * (num_dests + 1) * 24
         return int(total)
 
     def view(self, slot: int) -> DestRouting:
@@ -343,13 +361,16 @@ class RoutingArena:
         copy: bool = False,
         policy: str = "security_3rd",
         state_key: str | None = None,
+        backend: str = "numpy",
     ) -> "RoutingArena":
         """Rebuild an arena over ``buf`` (zero-copy views unless ``copy``)."""
         arrays: dict[str, np.ndarray] = {}
         for name, dtype, shape, offset in layout:
             arr = np.ndarray(tuple(shape), dtype=dtype, buffer=buf, offset=offset)
             arrays[name] = arr.copy() if copy else arr
-        return cls(graph_n, arrays, policy=policy, state_key=state_key)
+        return cls(
+            graph_n, arrays, policy=policy, state_key=state_key, backend=backend
+        )
 
     # -- the batched kernel --------------------------------------------
 
@@ -439,19 +460,26 @@ def compute_trees_batched(
     :func:`~repro.routing.fast_tree.compute_tree` per destination
     (asserted by the differential suite in
     ``tests/routing/test_arena.py``), but the Python-level loop runs
-    over *global* path-length levels: within each level the segments of
-    every batched destination are stacked and resolved by one set of
-    numpy segment operations.
+    over *global* path-length levels.  The per-level body dispatches
+    through the arena's kernel backend
+    (:mod:`repro.routing.backends`): ``numpy`` stacks the segments of
+    every batched destination and resolves them with one set of numpy
+    segment operations; the compiled tiers run the same selection as a
+    native loop over the stacked arrays.  All backends are bit-identical
+    (asserted by ``tests/routing/test_backends.py``).
     """
     slots = np.asarray(slots, dtype=np.int64)
     B = len(slots)
     n = arena.graph_n
+    node_secure = np.ascontiguousarray(node_secure, dtype=bool)
+    breaks_ties = np.ascontiguousarray(breaks_ties, dtype=bool)
     choice = np.full((B, n), -1, dtype=np.int32)
     secure = np.zeros((B, n), dtype=bool)
     any_secure = np.zeros((B, n), dtype=bool)
     dest_ids = arena.dest_ids[slots]
     secure[np.arange(B), dest_ids] = node_secure[dest_ids]
 
+    backend, kernels = kernel_backends.kernels_for(arena.backend)
     full = B == arena.num_dests and np.array_equal(slots, arena.all_slots())
     levels = arena._level_major()
     registry = get_registry()
@@ -459,6 +487,7 @@ def compute_trees_batched(
         registry.counter("routing.batched.calls").inc()
         registry.counter("routing.batched.trees").inc(B)
         registry.counter("routing.batched.levels").inc(len(levels))
+        registry.counter(f"routing.backend.calls.{backend}").inc()
 
     for lvl in levels:
         if full:
@@ -474,24 +503,17 @@ def compute_trees_batched(
             cands = gather_neighbors(lvl.edge_ptr, lvl.cands, slots)
             keys = gather_neighbors(lvl.edge_ptr, lvl.keys, slots)
             counts = lvl.node_ptr[slots + 1] - lvl.node_ptr[slots]
-            node_b = np.repeat(np.arange(B, dtype=np.int64), counts)
+            node_b = np.repeat(np.arange(B, dtype=np.int32), counts)
             starts = np.zeros(len(nodes), dtype=np.int64)
             np.cumsum(sizes[:-1], out=starts[1:])
             row_of_edge = np.repeat(np.arange(len(nodes), dtype=np.int64), sizes)
         if not len(nodes):
             continue
 
-        edge_b = node_b[row_of_edge]
-        csec = secure[edge_b, cands]
-        any_sec = np.logical_or.reduceat(csec, starts)
-        any_secure[node_b, nodes] = any_sec
-        use_sec = node_secure[nodes] & breaks_ties[nodes] & any_sec
-
-        key = np.where(csec | ~use_sec[row_of_edge], keys, _BLOCKED)
-        kmin = np.minimum.reduceat(key, starts)
-        chosen = starts + (kmin & _POS_MASK).astype(np.int64)
-        choice[node_b, nodes] = cands[chosen]
-        secure[node_b, nodes] = node_secure[nodes] & csec[chosen]
+        kernels.trees_level(
+            nodes, sizes, starts, row_of_edge, cands, keys, node_b,
+            node_secure, breaks_ties, choice, secure, any_secure,
+        )
 
     return BatchedTrees(
         dest_ids=dest_ids,
@@ -514,26 +536,30 @@ def subtree_weights_batched(
     :func:`compute_trees_batched`; returns the matching ``[B, n]``
     float64 subtree-weight matrix (row ``i`` excludes node weights of
     the nodes themselves, exactly like the per-destination kernel).
+    Levels dispatch through the arena's kernel backend, like
+    :func:`compute_trees_batched`.
     """
     slots = np.asarray(slots, dtype=np.int64)
     B = len(slots)
     n = arena.graph_n
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    choice = np.ascontiguousarray(choice, dtype=np.int32)
     w = np.zeros((B, n), dtype=np.float64)
+    backend, kernels = kernel_backends.kernels_for(arena.backend)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(f"routing.backend.calls.{backend}").inc()
     full = B == arena.num_dests and np.array_equal(slots, arena.all_slots())
     for lvl in reversed(arena._level_major()):
         if full:
-            nodes, node_b = lvl.nodes, lvl.node_slot.astype(np.int64)
+            nodes, node_b = lvl.nodes, lvl.node_slot
         else:
             nodes = gather_neighbors(lvl.node_ptr, lvl.nodes, slots)
             if not len(nodes):
                 continue
             counts = lvl.node_ptr[slots + 1] - lvl.node_ptr[slots]
-            node_b = np.repeat(np.arange(B, dtype=np.int64), counts)
+            node_b = np.repeat(np.arange(B, dtype=np.int32), counts)
         if not len(nodes):
             continue
-        parents = choice[node_b, nodes].astype(np.int64)
-        vals = w[node_b, nodes] + weights[nodes]
-        w += np.bincount(
-            node_b * n + parents, weights=vals, minlength=B * n
-        ).reshape(B, n)
+        kernels.weights_level(nodes, node_b, choice, weights, w)
     return w

@@ -1,0 +1,169 @@
+"""Pure-Python loop bodies shared by the compiled backends.
+
+Each function here is written in the *nopython* subset: scalar loops,
+typed numpy indexing, no Python objects — exactly what
+:mod:`repro.routing.backends.numba_impl` passes to ``@njit`` and what
+the C translation unit in :mod:`repro.routing.backends.cext_impl`
+transliterates line for line.  The module is also registered as the
+hidden ``python`` backend so the parity suite can run the compiled
+control flow under plain CPython (slow, but it pins the semantics the
+JIT and the C code inherit).
+
+Calling convention (all backends):
+
+- outputs are written **in place**; the functions return ``None``;
+- dtypes are fixed by the dispatchers: ``nodes``/``cands``/``node_b``/
+  ``choice`` int32, ``sizes``/``starts``/``row_of_edge`` int64,
+  ``keys``/``tie_key`` uint64, masks bool, weights float64, fixpoint
+  labels int8/int32/bool, rank metadata int64 codes + uint32 widths;
+- 2-D arrays are C-contiguous ``[batch, n]`` matrices.
+
+Bit-identity with the numpy backend is structural, not accidental:
+
+- tree levels select a per-node *minimum* key — order-independent, and
+  candidates live one level below their node, so per-node loops see the
+  same already-resolved state the whole-level gather sees;
+- subtree weights: every parent receives contributions only while its
+  children's level is processed (children sit exactly one level deeper)
+  and ``0.0 + x == x`` exactly in IEEE-754, so accumulating child by
+  child in stack order reproduces ``bincount``'s left-to-right sum bit
+  for bit;
+- the fixpoint sweep recomputes each edge's rank key in two passes
+  (min, then tie mask) rather than materialising the key row — the key
+  is a deterministic pure function of the labels, so both passes agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.policy import POSITION_BITS, RouteClass
+
+_BLOCKED = np.uint64(2**64 - 1)
+_POS_MASK = np.uint64(0xFFFF)       # (1 << POSITION_BITS) - 1
+_INVALID_A = np.uint32(0xFFFFFFFF)
+
+# The loop bodies inline these as literals (numba freezes globals at
+# compile time; the C code hardcodes them), so pin them to the enum.
+_SELF = 3          # RouteClass.SELF
+_CUSTOMER = 2      # RouteClass.CUSTOMER
+_UNREACHABLE = -1  # RouteClass.UNREACHABLE
+
+if (_SELF, _CUSTOMER, _UNREACHABLE) != (
+    int(RouteClass.SELF), int(RouteClass.CUSTOMER), int(RouteClass.UNREACHABLE)
+) or int(_POS_MASK) != (1 << POSITION_BITS) - 1:  # pragma: no cover
+    raise AssertionError(
+        "compiled-kernel constants drifted from repro.routing.policy; "
+        "update _loops.py and the C source in cext_impl.py together"
+    )
+
+
+def trees_level(nodes, sizes, starts, row_of_edge, cands, keys, node_b,
+                node_secure, breaks_ties, choice, secure, any_secure):
+    """Resolve one stacked path-length level, one node at a time."""
+    for r in range(nodes.shape[0]):
+        u = nodes[r]
+        b = node_b[r]
+        s = starts[r]
+        m = sizes[r]
+        if m <= 0:
+            continue
+        any_sec = False
+        min_all = _BLOCKED
+        min_sec = _BLOCKED
+        for e in range(s, s + m):
+            k = keys[e]
+            if k < min_all:
+                min_all = k
+            if secure[b, cands[e]]:
+                any_sec = True
+                if k < min_sec:
+                    min_sec = k
+        any_secure[b, u] = any_sec
+        if node_secure[u] and breaks_ties[u] and any_sec:
+            kmin = min_sec
+        else:
+            kmin = min_all
+        c = cands[s + np.int64(kmin & _POS_MASK)]
+        choice[b, u] = c
+        secure[b, u] = node_secure[u] and secure[b, c]
+
+
+def weights_level(nodes, node_b, choice, node_weights, w):
+    """Push one level's subtree weights up to the chosen parents."""
+    for r in range(nodes.shape[0]):
+        u = nodes[r]
+        b = node_b[r]
+        p = choice[b, u]
+        if p >= 0:
+            w[b, p] += w[b, u] + node_weights[u]
+
+
+def fixpoint_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                   lp_field, is_provider_edge, rank_codes, rank_widths,
+                   cls, length, sec, applies_edge, node_secure,
+                   new_cls, new_len, new_sec, tied):
+    """One synchronous best-response step over the segment-sorted edges."""
+    for row in range(cls.shape[0]):
+        for s in range(seg_starts.shape[0]):
+            lo = seg_starts[s]
+            m = seg_sizes[s]
+            best = _INVALID_A
+            for e in range(lo, lo + m):
+                k = _edge_key(e, row, v, route_cls, lp_field,
+                              is_provider_edge, applies_edge,
+                              rank_codes, rank_widths, cls, length, sec)
+                if k < best:
+                    best = k
+            best_tie = _BLOCKED
+            for e in range(lo, lo + m):
+                k = _edge_key(e, row, v, route_cls, lp_field,
+                              is_provider_edge, applies_edge,
+                              rank_codes, rank_widths, cls, length, sec)
+                t = best != _INVALID_A and k == best
+                tied[row, e] = t
+                if t and tie_key[e] < best_tie:
+                    best_tie = tie_key[e]
+            uu = seg_u[s]
+            if best != _INVALID_A:
+                eidx = lo + np.int64(best_tie & _POS_MASK)
+                vv = v[eidx]
+                new_cls[row, uu] = route_cls[eidx]
+                new_len[row, uu] = length[row, vv] + 1
+                new_sec[row, uu] = node_secure[uu] and sec[row, vv]
+            else:
+                new_cls[row, uu] = _UNREACHABLE
+                new_len[row, uu] = -1
+                new_sec[row, uu] = False
+
+
+def _edge_key(e, row, v, route_cls, lp_field, is_provider_edge,
+              applies_edge, rank_codes, rank_widths, cls, length, sec):
+    """Packed uint32 rank key of one offer; ``_INVALID_A`` if barred."""
+    vv = v[e]
+    cv = cls[row, vv]
+    if cv == _UNREACHABLE:
+        return _INVALID_A
+    # GR2: only customer routes / the origin's own prefix are exported
+    # across peerings and up to providers.
+    if not (is_provider_edge[e] or cv == _CUSTOMER or cv == _SELF):
+        return _INVALID_A
+    lv = length[row, vv]
+    if lv < 0:
+        lv = 0
+    sp = np.uint32(lv + 1)
+    if applies_edge[e] and sec[row, vv]:
+        secp = np.uint32(0)
+    else:
+        secp = np.uint32(1)
+    key = np.uint32(0)
+    for i in range(rank_codes.shape[0]):
+        code = rank_codes[i]
+        if code == 0:
+            field = np.uint32(lp_field[e])
+        elif code == 1:
+            field = sp
+        else:
+            field = secp
+        key = np.uint32((key << rank_widths[i]) | field)
+    return key

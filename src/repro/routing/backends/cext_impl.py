@@ -1,0 +1,316 @@
+"""C-extension backend: the loop bodies as one translation unit.
+
+A line-for-line transliteration of
+:mod:`repro.routing.backends._loops`, compiled at first use with the
+system C compiler (``cc``/``gcc`` — no build-time Python dependency)
+and bound through ``ctypes``.  The shared object is cached under
+``~/.cache/sbgp-kernels`` (override with ``SBGP_KERNEL_CACHE``) keyed
+by a digest of the source, so a process pays the compile exactly once
+per source revision and workers share the artifact.
+
+Import errors — no compiler, compile failure, dlopen failure — raise
+:class:`~repro.routing.backends.BackendUnavailable`; the registry turns
+that into a counted ``compiled_to_numpy`` degradation, never a crash.
+
+Why ctypes and not a real extension module: the kernels take flat typed
+buffers and return nothing, so the FFI surface is six pointer-and-
+stride signatures — not worth a build system.  The Python-side wrappers
+enforce dtype and contiguity *loudly* (a silent mismatch would corrupt
+memory), which the parity suite exercises.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.routing.backends import BackendUnavailable
+from repro.routing.policy import POSITION_BITS, RouteClass
+from repro.runtime.atomic import atomic_write_text
+
+if (
+    int(RouteClass.SELF),
+    int(RouteClass.CUSTOMER),
+    int(RouteClass.UNREACHABLE),
+    POSITION_BITS,
+) != (3, 2, -1, 16):  # pragma: no cover
+    raise AssertionError(
+        "the C kernels hardcode RouteClass/POSITION_BITS values that "
+        "drifted; update _C_SOURCE together with repro.routing.policy"
+    )
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Constants mirrored from repro.routing: POSITION_BITS=16 (tie-key low
+ * bits hold the candidate's position in its segment), RouteClass
+ * CUSTOMER=2 / SELF=3 / UNREACHABLE=-1. */
+#define POS_MASK 0xFFFFu
+#define INVALID_KEY 0xFFFFFFFFu
+
+void sbgp_trees_level(
+    int64_t num_nodes,
+    const int32_t *nodes, const int64_t *sizes, const int64_t *starts,
+    const int32_t *cands, const uint64_t *keys, const int32_t *node_b,
+    const uint8_t *node_secure, const uint8_t *breaks_ties,
+    int64_t n, int32_t *choice, uint8_t *secure, uint8_t *any_secure)
+{
+    for (int64_t r = 0; r < num_nodes; r++) {
+        int64_t u = nodes[r];
+        int64_t b = node_b[r];
+        int64_t s = starts[r];
+        int64_t m = sizes[r];
+        if (m <= 0)
+            continue;
+        const uint8_t *srow = secure + b * n;
+        uint64_t min_all = UINT64_MAX;
+        uint64_t min_sec = UINT64_MAX;
+        int any_sec = 0;
+        for (int64_t e = s; e < s + m; e++) {
+            uint64_t k = keys[e];
+            if (k < min_all)
+                min_all = k;
+            if (srow[cands[e]]) {
+                any_sec = 1;
+                if (k < min_sec)
+                    min_sec = k;
+            }
+        }
+        any_secure[b * n + u] = (uint8_t)any_sec;
+        uint64_t kmin =
+            (node_secure[u] && breaks_ties[u] && any_sec) ? min_sec : min_all;
+        int32_t c = cands[s + (int64_t)(kmin & POS_MASK)];
+        choice[b * n + u] = c;
+        /* c sits one level below u: srow[c] was resolved by an earlier
+         * level, never by this loop, so the read/write never alias. */
+        secure[b * n + u] = (uint8_t)(node_secure[u] && srow[c]);
+    }
+}
+
+void sbgp_weights_level(
+    int64_t num_nodes,
+    const int32_t *nodes, const int32_t *node_b, const int32_t *choice,
+    const double *node_weights, int64_t n, double *w)
+{
+    for (int64_t r = 0; r < num_nodes; r++) {
+        int64_t u = nodes[r];
+        int64_t b = node_b[r];
+        int32_t p = choice[b * n + u];
+        /* Parents sit one level up, so w[b*n+p] is only *written* here
+         * and only *read* when the next (shallower) level runs; with
+         * 0.0 + x == x exactly, child-by-child accumulation matches
+         * numpy's bincount sum bit for bit. */
+        if (p >= 0)
+            w[b * n + p] += w[b * n + u] + node_weights[u];
+    }
+}
+
+static inline uint32_t sbgp_edge_key(
+    int64_t e, const int32_t *v, const int8_t *cls_r, const int32_t *len_r,
+    const uint8_t *sec_r, const uint32_t *lp_field,
+    const uint8_t *is_provider_edge, const uint8_t *applies_edge,
+    const int64_t *rank_codes, const uint32_t *rank_widths)
+{
+    int32_t vv = v[e];
+    int8_t cv = cls_r[vv];
+    if (cv == -1)
+        return INVALID_KEY;
+    /* GR2: only customer routes (2) / the origin itself (3) are
+     * exported across peerings and up to providers. */
+    if (!(is_provider_edge[e] || cv == 2 || cv == 3))
+        return INVALID_KEY;
+    int32_t lv = len_r[vv];
+    if (lv < 0)
+        lv = 0;
+    uint32_t sp = (uint32_t)(lv + 1);
+    uint32_t secp = (applies_edge[e] && sec_r[vv]) ? 0u : 1u;
+    uint32_t key = 0;
+    for (int i = 0; i < 3; i++) {
+        uint32_t field = rank_codes[i] == 0
+            ? lp_field[e]
+            : (rank_codes[i] == 1 ? sp : secp);
+        key = (key << rank_widths[i]) | field;
+    }
+    return key;
+}
+
+void sbgp_fixpoint_sweep(
+    int64_t chunk, int64_t n, int64_t num_edges, int64_t num_segs,
+    const int32_t *v, const int8_t *route_cls,
+    const int64_t *seg_starts, const int64_t *seg_sizes,
+    const int32_t *seg_u, const uint64_t *tie_key,
+    const uint32_t *lp_field, const uint8_t *is_provider_edge,
+    const int64_t *rank_codes, const uint32_t *rank_widths,
+    const int8_t *cls, const int32_t *length, const uint8_t *sec,
+    const uint8_t *applies_edge, const uint8_t *node_secure,
+    int8_t *new_cls, int32_t *new_len, uint8_t *new_sec, uint8_t *tied)
+{
+    for (int64_t row = 0; row < chunk; row++) {
+        const int8_t *cls_r = cls + row * n;
+        const int32_t *len_r = length + row * n;
+        const uint8_t *sec_r = sec + row * n;
+        uint8_t *tied_r = tied + row * num_edges;
+        for (int64_t s = 0; s < num_segs; s++) {
+            int64_t lo = seg_starts[s];
+            int64_t m = seg_sizes[s];
+            uint32_t best = INVALID_KEY;
+            for (int64_t e = lo; e < lo + m; e++) {
+                uint32_t k = sbgp_edge_key(e, v, cls_r, len_r, sec_r,
+                                           lp_field, is_provider_edge,
+                                           applies_edge, rank_codes,
+                                           rank_widths);
+                if (k < best)
+                    best = k;
+            }
+            uint64_t best_tie = UINT64_MAX;
+            for (int64_t e = lo; e < lo + m; e++) {
+                uint32_t k = sbgp_edge_key(e, v, cls_r, len_r, sec_r,
+                                           lp_field, is_provider_edge,
+                                           applies_edge, rank_codes,
+                                           rank_widths);
+                int t = (best != INVALID_KEY) && (k == best);
+                tied_r[e] = (uint8_t)t;
+                if (t && tie_key[e] < best_tie)
+                    best_tie = tie_key[e];
+            }
+            int64_t uu = seg_u[s];
+            if (best != INVALID_KEY) {
+                int64_t eidx = lo + (int64_t)(best_tie & POS_MASK);
+                int32_t vv = v[eidx];
+                new_cls[row * n + uu] = route_cls[eidx];
+                new_len[row * n + uu] = len_r[vv] + 1;
+                new_sec[row * n + uu] =
+                    (uint8_t)(node_secure[uu] && sec_r[vv]);
+            } else {
+                new_cls[row * n + uu] = -1;
+                new_len[row * n + uu] = -1;
+                new_sec[row * n + uu] = 0;
+            }
+        }
+    }
+}
+"""
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("SBGP_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "sbgp-kernels"
+
+
+def _find_compiler() -> str | None:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _build_shared_object() -> Path:
+    """Compile (or reuse) the kernels; returns the cached ``.so`` path."""
+    digest = hashlib.blake2b(_C_SOURCE.encode(), digest_size=12).hexdigest()
+    cache_dir = _cache_dir()
+    so_path = cache_dir / f"sbgp_kernels_{digest}.so"
+    if so_path.exists():
+        return so_path
+    cc = _find_compiler()
+    if cc is None:
+        raise BackendUnavailable("no C compiler (cc/gcc/clang) on PATH")
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # Build in a scratch dir *inside* the cache dir so the final rename
+    # stays on one filesystem (atomic; concurrent builders race benignly
+    # to an identical artifact).
+    with tempfile.TemporaryDirectory(dir=cache_dir) as scratch:
+        src = Path(scratch) / "sbgp_kernels.c"
+        atomic_write_text(src, _C_SOURCE)
+        out = Path(scratch) / "sbgp_kernels.so"
+        cmd = [cc, "-O3", "-shared", "-fPIC", "-std=c99",
+               "-o", str(out), str(src)]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=300, check=False
+        )
+        if proc.returncode != 0:
+            raise BackendUnavailable(
+                f"C kernel compile failed ({' '.join(cmd[:1])} exit "
+                f"{proc.returncode}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(out, so_path)
+    return so_path
+
+
+def _load_library() -> ctypes.CDLL:
+    try:
+        lib = ctypes.CDLL(str(_build_shared_object()))
+    except OSError as exc:  # dlopen failure
+        raise BackendUnavailable(f"cannot load compiled kernels: {exc}") from exc
+    for name in ("sbgp_trees_level", "sbgp_weights_level",
+                 "sbgp_fixpoint_sweep"):
+        fn = getattr(lib, name)
+        fn.restype = None
+    return lib
+
+
+_LIB = _load_library()
+
+_I64 = ctypes.c_int64
+
+
+def _ptr(array: np.ndarray, dtype: type) -> ctypes.c_void_p:
+    """Checked pointer: exact dtype + C-contiguity, or a loud error."""
+    if array.dtype != np.dtype(dtype) or not array.flags.c_contiguous:
+        raise TypeError(
+            f"cext kernel expects C-contiguous {np.dtype(dtype)}, got "
+            f"{array.dtype} (contiguous={array.flags.c_contiguous})"
+        )
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+def trees_level(nodes, sizes, starts, row_of_edge, cands, keys, node_b,
+                node_secure, breaks_ties, choice, secure, any_secure):
+    """Resolve one stacked path-length level (row_of_edge unused here)."""
+    _LIB.sbgp_trees_level(
+        _I64(len(nodes)),
+        _ptr(nodes, np.int32), _ptr(sizes, np.int64), _ptr(starts, np.int64),
+        _ptr(cands, np.int32), _ptr(keys, np.uint64), _ptr(node_b, np.int32),
+        _ptr(node_secure, np.bool_), _ptr(breaks_ties, np.bool_),
+        _I64(choice.shape[1]),
+        _ptr(choice, np.int32), _ptr(secure, np.bool_),
+        _ptr(any_secure, np.bool_),
+    )
+
+
+def weights_level(nodes, node_b, choice, node_weights, w):
+    """Push one level's subtree weights up to the chosen parents."""
+    _LIB.sbgp_weights_level(
+        _I64(len(nodes)),
+        _ptr(nodes, np.int32), _ptr(node_b, np.int32),
+        _ptr(choice, np.int32), _ptr(node_weights, np.float64),
+        _I64(w.shape[1]), _ptr(w, np.float64),
+    )
+
+
+def fixpoint_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                   lp_field, is_provider_edge, rank_codes, rank_widths,
+                   cls, length, sec, applies_edge, node_secure,
+                   new_cls, new_len, new_sec, tied):
+    """One synchronous best-response step over the segment-sorted edges."""
+    _LIB.sbgp_fixpoint_sweep(
+        _I64(cls.shape[0]), _I64(cls.shape[1]),
+        _I64(len(v)), _I64(len(seg_starts)),
+        _ptr(v, np.int32), _ptr(route_cls, np.int8),
+        _ptr(seg_starts, np.int64), _ptr(seg_sizes, np.int64),
+        _ptr(seg_u, np.int32), _ptr(tie_key, np.uint64),
+        _ptr(lp_field, np.uint32), _ptr(is_provider_edge, np.bool_),
+        _ptr(rank_codes, np.int64), _ptr(rank_widths, np.uint32),
+        _ptr(cls, np.int8), _ptr(length, np.int32), _ptr(sec, np.bool_),
+        _ptr(applies_edge, np.bool_), _ptr(node_secure, np.bool_),
+        _ptr(new_cls, np.int8), _ptr(new_len, np.int32),
+        _ptr(new_sec, np.bool_), _ptr(tied, np.bool_),
+    )

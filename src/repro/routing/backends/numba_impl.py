@@ -1,0 +1,85 @@
+"""Numba backend: ``@njit``-compiled level loops over the flat pools.
+
+Importing this module is the load step: it JIT-compiles the loop
+bodies from :mod:`repro.routing.backends._loops` and warms them on
+tiny, dtype-exact inputs so the first *real* kernel call never pays
+compilation latency.  ``cache=True`` persists the machine code next to
+the package, so warm processes (and the process-pool workers, which
+import this module independently) hit the on-disk cache instead of
+recompiling — the registry's ``routing.backend.compile_seconds``
+histogram makes the difference visible.
+
+Numba is an optional dependency (the ``compiled`` extra); when it is
+missing the import below raises ``ImportError`` and the registry
+degrades the caller to numpy through the ``compiled_to_numpy`` ladder
+rung.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # ImportError here == backend unavailable
+
+from repro.routing.backends import _loops
+
+_jit = njit(cache=True, fastmath=False, nogil=True)
+
+trees_level = _jit(_loops.trees_level)
+weights_level = _jit(_loops.weights_level)
+# fixpoint_sweep calls _edge_key through _loops' module globals, so the
+# helper must be rebound to its Dispatcher *in that namespace* before
+# the sweep is compiled (a Dispatcher is still a callable, so the pure
+# "python" backend keeps working — marginally faster, identical bits).
+if not hasattr(_loops._edge_key, "py_func"):
+    _loops._edge_key = _jit(_loops._edge_key)
+fixpoint_sweep = _jit(_loops.fixpoint_sweep)
+
+
+def _warm_up() -> None:
+    """Compile all three kernels on minimal dtype-exact inputs."""
+    n = 2
+    nodes = np.zeros(1, dtype=np.int32)
+    sizes = np.ones(1, dtype=np.int64)
+    starts = np.zeros(1, dtype=np.int64)
+    row_of_edge = np.zeros(1, dtype=np.int64)
+    cands = np.ones(1, dtype=np.int32)
+    keys = np.zeros(1, dtype=np.uint64)
+    node_b = np.zeros(1, dtype=np.int32)
+    node_secure = np.zeros(n, dtype=np.bool_)
+    breaks_ties = np.zeros(n, dtype=np.bool_)
+    choice = np.full((1, n), -1, dtype=np.int32)
+    secure = np.zeros((1, n), dtype=np.bool_)
+    any_secure = np.zeros((1, n), dtype=np.bool_)
+    trees_level(nodes, sizes, starts, row_of_edge, cands, keys, node_b,
+                node_secure, breaks_ties, choice, secure, any_secure)
+
+    w = np.zeros((1, n), dtype=np.float64)
+    node_weights = np.zeros(n, dtype=np.float64)
+    weights_level(nodes, node_b, choice, node_weights, w)
+
+    u = np.zeros(1, dtype=np.int32)
+    v = np.ones(1, dtype=np.int32)
+    route_cls = np.full(1, 2, dtype=np.int8)
+    seg_starts = np.zeros(1, dtype=np.int64)
+    seg_sizes = np.ones(1, dtype=np.int64)
+    seg_u = np.zeros(1, dtype=np.int32)
+    tie_key = np.zeros(1, dtype=np.uint64)
+    lp_field = np.zeros(1, dtype=np.uint32)
+    is_provider_edge = np.zeros(1, dtype=np.bool_)
+    rank_codes = np.array([0, 1, 2], dtype=np.int64)
+    rank_widths = np.array([2, 21, 1], dtype=np.uint32)
+    cls = np.full((1, n), -1, dtype=np.int8)
+    length = np.full((1, n), -1, dtype=np.int32)
+    sec = np.zeros((1, n), dtype=np.bool_)
+    applies_edge = np.zeros(1, dtype=np.bool_)
+    new_cls = np.full((1, n), -1, dtype=np.int8)
+    new_len = np.full((1, n), -1, dtype=np.int32)
+    new_sec = np.zeros((1, n), dtype=np.bool_)
+    tied = np.zeros((1, 1), dtype=np.bool_)
+    fixpoint_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                   lp_field, is_provider_edge, rank_codes, rank_widths,
+                   cls, length, sec, applies_edge, node_secure,
+                   new_cls, new_len, new_sec, tied)
+
+
+_warm_up()

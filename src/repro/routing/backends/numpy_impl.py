@@ -1,0 +1,137 @@
+"""Vectorised numpy kernels — the differential ground truth.
+
+These are the original level/sweep bodies of
+``repro.routing.arena.compute_trees_batched``,
+``repro.routing.arena.subtree_weights_batched`` and
+``repro.routing.fixpoint._sweep``, moved here verbatim so every other
+backend has a fixed point of comparison: the parity suite asserts
+**bit-identical** outputs against this module.  Do not "improve" the
+numerics here — a change to operation order is a change to the ground
+truth.
+
+All three kernels share the calling convention documented in
+:mod:`repro.routing.backends._loops` (same signatures, same dtypes,
+outputs written in place).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.policy import POSITION_BITS, RouteClass
+
+_POS_MASK = np.uint64((1 << POSITION_BITS) - 1)
+_BLOCKED = np.uint64(2**64 - 1)
+_INVALID_A = np.uint32(0xFFFFFFFF)
+
+_SELF = int(RouteClass.SELF)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_UNREACHABLE = int(RouteClass.UNREACHABLE)
+
+
+def trees_level(
+    nodes: np.ndarray,
+    sizes: np.ndarray,
+    starts: np.ndarray,
+    row_of_edge: np.ndarray,
+    cands: np.ndarray,
+    keys: np.ndarray,
+    node_b: np.ndarray,
+    node_secure: np.ndarray,
+    breaks_ties: np.ndarray,
+    choice: np.ndarray,
+    secure: np.ndarray,
+    any_secure: np.ndarray,
+) -> None:
+    """Resolve one stacked path-length level of the batched tree kernel."""
+    edge_b = node_b[row_of_edge]
+    csec = secure[edge_b, cands]
+    any_sec = np.logical_or.reduceat(csec, starts)
+    any_secure[node_b, nodes] = any_sec
+    use_sec = node_secure[nodes] & breaks_ties[nodes] & any_sec
+
+    key = np.where(csec | ~use_sec[row_of_edge], keys, _BLOCKED)
+    kmin = np.minimum.reduceat(key, starts)
+    chosen = starts + (kmin & _POS_MASK).astype(np.int64)
+    choice[node_b, nodes] = cands[chosen]
+    secure[node_b, nodes] = node_secure[nodes] & csec[chosen]
+
+
+def weights_level(
+    nodes: np.ndarray,
+    node_b: np.ndarray,
+    choice: np.ndarray,
+    node_weights: np.ndarray,
+    w: np.ndarray,
+) -> None:
+    """Push one level's subtree weights up to the chosen parents."""
+    n = w.shape[1]
+    nb = node_b.astype(np.int64)
+    parents = choice[nb, nodes].astype(np.int64)
+    vals = w[nb, nodes] + node_weights[nodes]
+    w += np.bincount(
+        nb * n + parents, weights=vals, minlength=w.size
+    ).reshape(w.shape)
+
+
+def fixpoint_sweep(
+    u: np.ndarray,
+    v: np.ndarray,
+    route_cls: np.ndarray,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    seg_u: np.ndarray,
+    tie_key: np.ndarray,
+    lp_field: np.ndarray,
+    is_provider_edge: np.ndarray,
+    rank_codes: np.ndarray,
+    rank_widths: np.ndarray,
+    cls: np.ndarray,
+    length: np.ndarray,
+    sec: np.ndarray,
+    applies_edge: np.ndarray,
+    node_secure: np.ndarray,
+    new_cls: np.ndarray,
+    new_len: np.ndarray,
+    new_sec: np.ndarray,
+    tied: np.ndarray,
+) -> None:
+    """One synchronous best-response step over the edge table."""
+    cls_v = cls[:, v]
+    # GR2: across a peering or up to a provider only customer routes and
+    # the origin's own prefix travel; down to a customer anything does.
+    announces = (cls_v == _CUSTOMER) | (cls_v == _SELF)
+    valid = (cls_v != _UNREACHABLE) & (is_provider_edge | announces)
+
+    sp_field = (np.maximum(length[:, v], 0) + 1).astype(np.uint32)
+    secp_field = 1 - (applies_edge & sec[:, v]).astype(np.uint32)
+    key = np.zeros(valid.shape, dtype=np.uint32)
+    for i in range(len(rank_codes)):
+        code = int(rank_codes[i])
+        if code == 0:
+            field: np.ndarray = lp_field
+        elif code == 1:
+            field = sp_field
+        else:
+            field = secp_field
+        key = (key << np.uint32(rank_widths[i])) | field
+    key_a = np.where(valid, key, _INVALID_A)
+
+    best_a = np.minimum.reduceat(key_a, seg_starts, axis=1)
+    tied[:] = (key_a == np.repeat(best_a, seg_sizes, axis=1)) & (
+        key_a != _INVALID_A
+    )
+    key_b = np.where(tied, tie_key[None, :], _BLOCKED)
+    chosen = np.minimum.reduceat(key_b, seg_starts, axis=1)
+    reachable = best_a != _INVALID_A
+    eidx = seg_starts[None, :] + np.where(
+        reachable, (chosen & _POS_MASK).astype(np.int64), 0
+    )
+    v_sel = v[eidx]
+    sec_v = np.take_along_axis(sec, v_sel, axis=1)
+    len_v = np.take_along_axis(length, v_sel, axis=1)
+    new_cls[:, seg_u] = np.where(
+        reachable, route_cls[eidx], np.int8(_UNREACHABLE)
+    )
+    new_len[:, seg_u] = np.where(reachable, len_v + 1, -1)
+    new_sec[:, seg_u] = reachable & node_secure[seg_u] & sec_v

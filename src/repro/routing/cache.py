@@ -28,6 +28,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.routing import backends as kernel_backends
 from repro.routing.arena import RoutingArena
 from repro.routing.compiled import CompiledGraph
 from repro.routing.policy import RoutingPolicy, get_policy
@@ -72,6 +73,7 @@ class CacheStats:
     policy: str = "security_3rd"
     state_rebuilds: int = 0
     arena_bytes: int = 0
+    backend: str = "numpy"
 
     @property
     def cached_fraction(self) -> float:
@@ -107,6 +109,13 @@ class RoutingCache:
         :func:`repro.routing.variants.restrict_to_primary` with a
         custom mask — the registered ``sticky_primaries`` policy covers
         the standard §8.3 configuration without this hook).
+    backend:
+        Kernel backend name for the batched tree/weight/fixpoint kernels
+        (:mod:`repro.routing.backends`).  ``None`` resolves through the
+        ``SBGP_KERNEL_BACKEND`` env var (default ``numpy``); an unusable
+        compiled backend degrades to numpy via the resource guard's
+        ``compiled_to_numpy`` rung.  Resolved once here, so every arena
+        this cache builds or adopts runs on one backend.
     """
 
     def __init__(
@@ -115,9 +124,11 @@ class RoutingCache:
         destinations: list[int] | None = None,
         policy: str | RoutingPolicy = "security_3rd",
         transform: Callable[[DestRouting], DestRouting] | None = None,
+        backend: str | None = None,
     ):
         self.policy = get_policy(policy)
         self.transform = transform
+        self.backend_name = kernel_backends.resolve_backend(backend)
         self.graph = graph
         self.compiled = CompiledGraph.from_graph(graph)
         self.destinations = list(range(graph.n)) if destinations is None else list(destinations)
@@ -182,6 +193,7 @@ class RoutingCache:
             self.compiled,
             node_secure=self._node_secure,
             breaks_ties=self._breaks_ties,
+            backend=self.backend_name,
         )
         if self.transform is not None:
             routings = [self.transform(dr) for dr in routings]
@@ -299,6 +311,7 @@ class RoutingCache:
                 [self._routing[d] for d in self.destinations],
                 policy=self.policy.name,
                 state_key=self._state_key,
+                backend=self.backend_name,
             )
             self._adopt_arena(arena)
         return self._arena
@@ -324,6 +337,10 @@ class RoutingCache:
                 f"arena was built for deployment state {arena.state_key!r}; "
                 f"this cache is at {self._state_key!r}"
             )
+        # The backend tag is execution metadata, not structure: kernels
+        # are bit-identical across backends, so an arena shipped from a
+        # peer simply runs on *this* cache's resolved backend.
+        arena.backend = self.backend_name
         self._installs += arena.num_dests
         self._adopt_arena(arena)
 
@@ -375,6 +392,7 @@ class RoutingCache:
             policy=self.policy.name,
             state_rebuilds=self._state_rebuilds,
             arena_bytes=self._arena.nbytes if self._arena is not None else 0,
+            backend=self.backend_name,
         )
 
     def is_cached(self, dest: int) -> bool:

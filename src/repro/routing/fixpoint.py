@@ -33,10 +33,11 @@ silent wrong answer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from repro.routing import backends as kernel_backends
 from repro.routing.compiled import CompiledGraph
 from repro.routing.policy import (
     POSITION_BITS,
@@ -46,6 +47,7 @@ from repro.routing.policy import (
 )
 from repro.routing.reference import ConvergenceError
 from repro.routing.tree import DestRouting
+from repro.telemetry.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.routing.policy import RoutingPolicy
@@ -57,14 +59,19 @@ _PEER = int(RouteClass.PEER)
 _PROVIDER = int(RouteClass.PROVIDER)
 _UNREACHABLE = int(RouteClass.UNREACHABLE)
 
-_INVALID_A = np.uint32(0xFFFFFFFF)   # rank key of an inadmissible offer
-_BLOCKED_B = np.uint64(2**64 - 1)    # tie-break key of a non-tied edge
+# Rank/tie-key sentinels (inadmissible offer, non-tied edge) live with
+# the kernel implementations in repro.routing.backends; here only the
+# tie-key split is needed to build the static edge table.
 _POS_MASK = np.uint64((1 << POSITION_BITS) - 1)
 _HASH_MASK = ~_POS_MASK
 
 #: rank-key field widths (bits); LP + SP + SECP must fit in 31 bits so
 #: every valid key is strictly below ``_INVALID_A``
 _WIDTH = {Criterion.LP: 2, Criterion.SP: 21, Criterion.SECP: 1}
+
+#: criterion -> integer code in the backend kernels' rank metadata
+#: (kernels take plain arrays, not enums, so they stay JIT/C-compatible)
+_RANK_CODE = {Criterion.LP: 0, Criterion.SP: 1, Criterion.SECP: 2}
 
 #: destinations per Jacobi batch — bounds the [chunk, edges] working set
 _CHUNK = 128
@@ -124,38 +131,20 @@ class _EdgeTable:
         self.is_provider_edge = self.route_cls == _PROVIDER
 
 
-def _pack_rank_keys(
-    table: _EdgeTable,
+def _rank_metadata(
     ranking: Sequence[Criterion],
-    cls: np.ndarray,
-    length: np.ndarray,
-    sec: np.ndarray,
-    applies_edge: np.ndarray,
-) -> np.ndarray:
-    """uint32[chunk, edges] rank key per offer; ``_INVALID_A`` if barred."""
-    cls_v = cls[:, table.v]
-    # GR2: across a peering or up to a provider only customer routes and
-    # the origin's own prefix travel; down to a customer anything does.
-    announces = (cls_v == _CUSTOMER) | (cls_v == _SELF)
-    valid = (cls_v != _UNREACHABLE) & (table.is_provider_edge | announces)
-
-    sp_field = (np.maximum(length[:, table.v], 0) + 1).astype(np.uint32)
-    secp_field = 1 - (applies_edge & sec[:, table.v]).astype(np.uint32)
-    key = np.zeros(valid.shape, dtype=np.uint32)
-    for crit in ranking:
-        if crit is Criterion.LP:
-            field: np.ndarray = table.lp_field
-        elif crit is Criterion.SP:
-            field = sp_field
-        else:
-            field = secp_field
-        key = (key << np.uint32(_WIDTH[crit])) | field
-    return np.where(valid, key, _INVALID_A)
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(codes int64[3], widths uint32[3])`` for the backend kernels."""
+    codes = np.array([_RANK_CODE[crit] for crit in ranking], dtype=np.int64)
+    widths = np.array([_WIDTH[crit] for crit in ranking], dtype=np.uint32)
+    return codes, widths
 
 
 def _sweep(
     table: _EdgeTable,
-    policy: "RoutingPolicy",
+    kernels: Any,
+    rank_codes: np.ndarray,
+    rank_widths: np.ndarray,
     dests: np.ndarray,
     node_secure: np.ndarray,
     applies_edge: np.ndarray,
@@ -169,30 +158,16 @@ def _sweep(
     new_cls = np.full((chunk, table.n), _UNREACHABLE, dtype=np.int8)
     new_len = np.full((chunk, table.n), -1, dtype=np.int32)
     new_sec = np.zeros((chunk, table.n), dtype=bool)
+    tied = np.zeros((chunk, table.num_edges), dtype=bool)
     if table.num_edges:
-        key_a = _pack_rank_keys(
-            table, policy.ranking, cls, length, sec, applies_edge
+        kernels.fixpoint_sweep(
+            table.u, table.v, table.route_cls,
+            table.seg_starts, table.seg_sizes, table.seg_u, table.tie_key,
+            table.lp_field, table.is_provider_edge,
+            rank_codes, rank_widths,
+            cls, length, sec, applies_edge, node_secure,
+            new_cls, new_len, new_sec, tied,
         )
-        best_a = np.minimum.reduceat(key_a, table.seg_starts, axis=1)
-        tied = (key_a == np.repeat(best_a, table.seg_sizes, axis=1)) & (
-            key_a != _INVALID_A
-        )
-        key_b = np.where(tied, table.tie_key[None, :], _BLOCKED_B)
-        chosen = np.minimum.reduceat(key_b, table.seg_starts, axis=1)
-        reachable = best_a != _INVALID_A
-        eidx = table.seg_starts[None, :] + np.where(
-            reachable, (chosen & _POS_MASK).astype(np.int64), 0
-        )
-        v_sel = table.v[eidx]
-        sec_v = np.take_along_axis(sec, v_sel, axis=1)
-        len_v = np.take_along_axis(length, v_sel, axis=1)
-        new_cls[:, table.seg_u] = np.where(
-            reachable, table.route_cls[eidx], np.int8(_UNREACHABLE)
-        )
-        new_len[:, table.seg_u] = np.where(reachable, len_v + 1, -1)
-        new_sec[:, table.seg_u] = reachable & node_secure[table.seg_u] & sec_v
-    else:
-        tied = np.zeros((chunk, 0), dtype=bool)
     # the destination always keeps its own (empty, trivially best) route
     new_cls[rows, dests] = _SELF
     new_len[rows, dests] = 0
@@ -252,6 +227,7 @@ def fixpoint_dest_routings(
     node_secure: np.ndarray | None = None,
     breaks_ties: np.ndarray | None = None,
     max_sweeps: int | None = None,
+    backend: str | None = None,
 ) -> list[DestRouting]:
     """Converged :class:`DestRouting` per destination under ``policy``.
 
@@ -260,10 +236,22 @@ def fixpoint_dest_routings(
     security-free order.  Raises :class:`ConvergenceError` if a batch
     has not stabilised after ``max_sweeps`` (default ``n + 8``) — a real
     possibility for ``security_1st``, which admits dispute wheels.
+
+    ``backend`` selects the sweep kernel implementation
+    (:mod:`repro.routing.backends`); ``None`` resolves through the
+    ``SBGP_KERNEL_BACKEND`` env var, and an unusable compiled backend
+    degrades to numpy.
     """
     cg = compiled or CompiledGraph.from_graph(graph)
     table = _EdgeTable(cg)
     n = cg.n
+    backend_name, kernels = kernel_backends.kernels_for(
+        kernel_backends.resolve_backend(backend)
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(f"routing.backend.calls.{backend_name}").inc()
+    rank_codes, rank_widths = _rank_metadata(policy.ranking)
     if node_secure is None:
         node_secure = np.zeros(n, dtype=bool)
     if breaks_ties is None:
@@ -289,7 +277,8 @@ def fixpoint_dest_routings(
         tied = np.zeros((chunk, table.num_edges), dtype=bool)
         for _ in range(cap):
             new_cls, new_len, new_sec, tied = _sweep(
-                table, policy, batch, node_secure, applies_edge,
+                table, kernels, rank_codes, rank_widths,
+                batch, node_secure, applies_edge,
                 cls, length, sec,
             )
             if (

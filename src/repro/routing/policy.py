@@ -227,15 +227,19 @@ class RoutingPolicy:
         compiled: "CompiledGraph | None" = None,
         node_secure: np.ndarray | None = None,
         breaks_ties: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> "DestRouting":
         """Build the per-destination structure under this policy.
 
         For state-independent policies ``node_secure``/``breaks_ties``
         are ignored (the structure serves every state).  For
         state-dependent policies they default to all-insecure.
+        ``backend`` names the kernel backend for the fixpoint sweeps
+        (:mod:`repro.routing.backends`; ``None`` = env var, then numpy).
         """
         return self.build_many(
-            graph, [dest], compiled, node_secure=node_secure, breaks_ties=breaks_ties
+            graph, [dest], compiled, node_secure=node_secure,
+            breaks_ties=breaks_ties, backend=backend,
         )[0]
 
     def build_many(
@@ -245,6 +249,7 @@ class RoutingPolicy:
         compiled: "CompiledGraph | None" = None,
         node_secure: np.ndarray | None = None,
         breaks_ties: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> "list[DestRouting]":
         """Batched :meth:`build_dest_routing` (one fixpoint sweep set
         covers the whole batch for state-dependent policies)."""
@@ -255,6 +260,7 @@ class RoutingPolicy:
             routings = fixpoint_dest_routings(
                 graph, dests, self, compiled,
                 node_secure=node_secure, breaks_ties=breaks_ties,
+                backend=backend,
             )
         else:
             base = self._base_builder()

@@ -57,6 +57,7 @@ LADDER_RUNGS: tuple[str, ...] = (
     "reduced_workers",   # N workers -> N/2 (repeatedly)
     "serial_workers",    # ... -> serial in-process execution
     "lazy_warm",         # eager parallel warm -> build-on-first-use
+    "compiled_to_numpy",  # compiled kernel backend -> pure-numpy kernels
 )
 
 

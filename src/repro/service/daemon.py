@@ -191,6 +191,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return True
 
     def _get_healthz(self) -> bool:
+        from repro.routing.backends import backend_status
+
         states: dict[str, int] = {}
         for job in self.service.store.jobs():
             states[job.state] = states.get(job.state, 0) + 1
@@ -199,6 +201,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "jobs": states,
             "queue_depth": self.service.scheduler.queue_depth(),
             "cache_entries": len(self.service.cache),
+            # kernel-backend availability on THIS host (loaded backends
+            # were exercised; available ones would load on first use)
+            "backends": backend_status(),
         })
         return True
 

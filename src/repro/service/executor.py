@@ -68,7 +68,7 @@ def _build_env(spec: JobSpec, cache: ResultCache) -> ExperimentEnv:
     """
     env = build_environment(
         n=spec.n, seed=spec.seed, x=spec.x, augmented=spec.augmented,
-        warm=False, policy=spec.policy,
+        warm=False, policy=spec.policy, backend=spec.kernel_backend,
     )
     if env.cache.policy.state_dependent:
         # state-dependent arenas are only valid for one deployment
@@ -171,6 +171,7 @@ def _execute_sweep(
         "kind": "sweep",
         "cells": [cell_to_dict(c) for c in cells],
         "grid": {"thetas": list(spec.thetas), "adopter_sets": sorted(adopter_sets)},
+        "backend": env.cache.backend_name,
     }
 
 
@@ -179,6 +180,7 @@ def _execute_case_study(job: Job, env: ExperimentEnv) -> dict[str, Any]:
     zs = report.zero_sum
     return {
         "kind": "case-study",
+        "backend": env.cache.backend_name,
         "early_adopter_asns": list(report.early_adopter_asns),
         "fraction_secure_ases": report.fraction_secure_ases,
         "outcome": report.result.outcome.value,

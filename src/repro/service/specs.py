@@ -28,6 +28,7 @@ import hashlib
 import json
 from typing import Any, Mapping
 
+from repro.routing import backends as kernel_backends
 from repro.routing.policy import get_policy
 from repro.service.errors import SpecError
 
@@ -61,6 +62,7 @@ class JobSpec:
     priority: int
     deadline: float | None           # per-job wall-clock budget (seconds)
     memory_budget: int | None        # per-job budget (bytes)
+    kernel_backend: str | None       # execution detail: results bit-identical
 
 
 def _require(condition: bool, message: str) -> None:
@@ -161,11 +163,22 @@ def parse_spec(payload: object) -> JobSpec:
         memory_budget = _coerce_number(payload, "memory_budget", int, None)
         _require(memory_budget > 0, f"memory_budget must be > 0 bytes, got {memory_budget}")
 
+    kernel_backend = payload.get("kernel_backend")
+    if kernel_backend is not None:
+        _require(isinstance(kernel_backend, str), "kernel_backend must be a string")
+        try:
+            # reject unknown names at submit time; *unusable* known
+            # backends are fine — the executor degrades to numpy
+            kernel_backends.get_backend(kernel_backend)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from exc
+
     return JobSpec(
         kind=kind, n=n, seed=seed, x=x, policy=policy, augmented=augmented,
         theta=theta, thetas=thetas, adopter_sets=adopter_sets,
         stub_breaks_ties=stub_breaks_ties, max_rounds=max_rounds,
         priority=priority, deadline=deadline, memory_budget=memory_budget,
+        kernel_backend=kernel_backend,
     )
 
 
@@ -182,8 +195,11 @@ def _digest(payload: dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-#: spec fields that are scheduling metadata, not work identity
-_NON_IDENTITY_FIELDS = ("priority", "deadline", "memory_budget")
+#: spec fields that are scheduling/execution metadata, not work identity
+#: (kernel_backend is excluded because backends are bit-identical — the
+#: same submission on a different backend is the same work and must
+#: coalesce and share cached cells)
+_NON_IDENTITY_FIELDS = ("priority", "deadline", "memory_budget", "kernel_backend")
 
 
 def spec_digest(spec: JobSpec) -> str:

@@ -95,6 +95,25 @@ class GeneratedTopology:
         return out
 
 
+#: AS count of the paper's Cyclops Dec-9-2010 graph (Appendix D, Table 2).
+PAPER_SCALE_N = 36964
+
+
+def paper_scale_config(seed: int = 2011) -> TopologyConfig:
+    """The paper-scale preset: a 36,964-AS graph in the paper's mixture.
+
+    The :class:`TopologyConfig` defaults already track the paper's
+    proportions (85% stubs, five CPs, Tier-1 clique, ~1.05 peerings per
+    AS), so the preset only pins ``n`` to the Cyclops snapshot's AS
+    count.  Routing structures at this size are dense in the number of
+    destinations — pair this with destination sampling
+    (``build_environment(sample_destinations=...)`` or the CLI's
+    ``--destinations``) unless you have hundreds of GiB to spare; see
+    README, "Running at paper scale".
+    """
+    return TopologyConfig(n=PAPER_SCALE_N, seed=seed)
+
+
 def _sample_count(rng: random.Random, dist: Sequence[float]) -> int:
     """Draw 1, 2 or 3 with the given probabilities."""
     r = rng.random()

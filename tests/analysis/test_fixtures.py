@@ -44,7 +44,8 @@ def test_fixture_suite_is_complete():
     """One golden fixture per rule code (plus the RPR010 meta-rule)."""
     covered = {f.name[:6].upper() for f in FIXTURES}
     expected = (
-        {f"RPR00{i}" for i in range(1, 10)} | {"RPR010", "RPR011", "RPR012"}
+        {f"RPR00{i}" for i in range(1, 10)}
+        | {"RPR010", "RPR011", "RPR012", "RPR013"}
     )
     assert covered >= expected
 

@@ -1,0 +1,280 @@
+"""Kernel-backend registry and bit-identity parity suite (PR 8).
+
+The numpy backend is the differential ground truth.  Every other
+backend — the compiled tiers and the hidden ``python`` backend (the
+exact loop bodies numba compiles) — must produce **bit-identical**
+outputs on all three hot kernels, across every registered policy.
+``tobytes()`` comparisons make "identical" literal: same bytes, not
+just allclose.
+
+The suite is environment-adaptive: compiled backends that cannot load
+here (no numba wheel, no C compiler) are skipped for parity but their
+*degradation* path is tested instead — a numpy-only environment must
+pass this whole file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.routing import backends as kb
+from repro.routing.arena import (
+    RoutingArena,
+    compute_trees_batched,
+    subtree_weights_batched,
+)
+from repro.routing.cache import RoutingCache
+from repro.routing.errors import BackendUnavailable
+from repro.routing.policy import available_policies, get_policy
+from repro.runtime.guard import RuntimeGuard, use_guard
+
+from tests.strategies import graphs_with_security
+
+POLICIES = available_policies()
+
+
+def _load_ok(name: str) -> bool:
+    try:
+        kb.load_backend(name)
+    except BackendUnavailable:
+        return False
+    return True
+
+
+#: every backend that can actually load here, ground truth first;
+#: "python" (hidden) is always loadable and exercises numba's exact
+#: control flow without a JIT
+PARITY_BACKENDS = ["numpy"] + [
+    name
+    for name in [*kb.usable_backends(), "python"]
+    if name != "numpy" and _load_ok(name)
+]
+
+ALT_BACKENDS = [name for name in PARITY_BACKENDS if name != "numpy"]
+
+
+def _arena_for(graph, policy: str, backend: str, dests) -> RoutingArena:
+    routings = get_policy(policy).build_many(graph, dests)
+    return RoutingArena.build(
+        graph.n, dests, routings, policy=policy, backend=backend
+    )
+
+
+def _security_state(n: int):
+    secure = np.zeros(n, dtype=bool)
+    secure[::3] = True
+    breaks = np.zeros(n, dtype=bool)
+    breaks[::2] = True
+    return secure, breaks
+
+
+class TestRegistry:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kb.get_backend("fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kb.resolve_backend("fortran")
+
+    def test_available_excludes_hidden(self):
+        names = kb.available_backends()
+        assert "numpy" in names and "python" not in names
+
+    def test_python_backend_resolvable_by_exact_name(self):
+        assert kb.resolve_backend("python") == "python"
+
+    def test_register_conflicting_spec_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            kb.register_backend(
+                kb.KernelBackend(
+                    name="numpy", description="different", module="nope"
+                )
+            )
+
+    def test_register_is_idempotent_for_equal_spec(self):
+        spec = kb.get_backend("numpy")
+        assert kb.register_backend(spec) is spec
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(kb.ENV_VAR, "python")
+        assert kb.default_backend_name() == "python"
+        assert kb.resolve_backend(None) == "python"
+        monkeypatch.delenv(kb.ENV_VAR)
+        assert kb.default_backend_name() == "numpy"
+
+    def test_backend_status_shape(self):
+        status = kb.backend_status()
+        assert set(status) == set(kb.available_backends())
+        assert all(v in ("loaded", "available", "unavailable") for v in status.values())
+
+    def test_auto_resolves_to_something_loaded(self):
+        name = kb.resolve_backend(kb.AUTO)
+        assert name in kb.available_backends()
+        assert kb.backend_status()[name] == "loaded"
+
+    def test_load_failure_is_cached(self):
+        # whichever compiled backend is missing here (CI runs this in a
+        # numpy-only env too) must fail identically on the second call
+        missing = [n for n in kb.available_backends() if not kb.probe(n)]
+        for name in missing:
+            with pytest.raises(BackendUnavailable):
+                kb.load_backend(name)
+            with pytest.raises(BackendUnavailable):
+                kb.load_backend(name)
+
+
+class TestDegradation:
+    def test_unloadable_backend_degrades_to_numpy_with_counted_rung(self):
+        missing = [n for n in kb.available_backends() if not kb.probe(n)]
+        if not missing:
+            pytest.skip("every registered backend is usable here")
+        guard = RuntimeGuard()
+        with use_guard(guard):
+            assert kb.resolve_backend(missing[0]) == "numpy"
+        assert guard.ladder.taken("compiled_to_numpy") == 1
+
+    def test_kernels_for_degrades_at_call_time(self):
+        missing = [n for n in kb.available_backends() if not kb.probe(n)]
+        if not missing:
+            pytest.skip("every registered backend is usable here")
+        guard = RuntimeGuard()
+        with use_guard(guard):
+            name, impl = kb.kernels_for(missing[0])
+        assert name == "numpy"
+        assert impl is kb.load_backend("numpy")
+        assert guard.ladder.taken("compiled_to_numpy") == 1
+
+    def test_numpy_only_cache_never_errors(self):
+        # the acceptance bar: a run specced for a compiled backend on a
+        # host without it completes on numpy, arena included
+        missing = [n for n in kb.available_backends() if not kb.probe(n)]
+        requested = missing[0] if missing else "numpy"
+        from repro.topology.generator import generate_topology
+        from repro.topology.traffic import apply_traffic_model
+
+        graph = generate_topology(n=60, seed=9).graph
+        apply_traffic_model(graph, 0.10)
+        guard = RuntimeGuard()
+        with use_guard(guard):
+            cache = RoutingCache(
+                graph, destinations=list(range(12)), backend=requested
+            )
+            cache.warm()
+            arena = cache.ensure_arena()
+            secure, breaks = _security_state(graph.n)
+            bt = compute_trees_batched(arena, arena.all_slots(), secure, breaks)
+        assert cache.backend_name == ("numpy" if missing else "numpy")
+        assert bt.choice.shape == (12, graph.n)
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+@pytest.mark.parametrize("policy", POLICIES)
+class TestKernelParity:
+    """Bit-identity of every backend against numpy, per policy."""
+
+    def _trees(self, graph, policy, backend):
+        dests = list(range(0, graph.n, 7))
+        secure, breaks = _security_state(graph.n)
+        ref_arena = _arena_for(graph, policy, "numpy", dests)
+        alt_arena = _arena_for(graph, policy, backend, dests)
+        ref = compute_trees_batched(ref_arena, ref_arena.all_slots(), secure, breaks)
+        alt = compute_trees_batched(alt_arena, alt_arena.all_slots(), secure, breaks)
+        return ref_arena, alt_arena, ref, alt
+
+    def test_trees_bit_identical(self, small_graph, policy, backend):
+        _, _, ref, alt = self._trees(small_graph, policy, backend)
+        assert ref.choice.tobytes() == alt.choice.tobytes()
+        assert ref.secure.tobytes() == alt.secure.tobytes()
+        assert ref.any_secure.tobytes() == alt.any_secure.tobytes()
+
+    def test_weights_bit_identical(self, small_graph, policy, backend):
+        ref_arena, alt_arena, ref, alt = self._trees(small_graph, policy, backend)
+        w = small_graph.weights
+        ref_w = subtree_weights_batched(ref_arena, ref_arena.all_slots(), ref.choice, w)
+        alt_w = subtree_weights_batched(alt_arena, alt_arena.all_slots(), alt.choice, w)
+        # float64 bytes, not allclose: the accumulation orders are
+        # provably equivalent under IEEE (see _loops' docstring)
+        assert ref_w.tobytes() == alt_w.tobytes()
+
+    def test_subset_slots_bit_identical(self, small_graph, policy, backend):
+        dests = list(range(0, small_graph.n, 7))
+        secure, breaks = _security_state(small_graph.n)
+        ref_arena = _arena_for(small_graph, policy, "numpy", dests)
+        alt_arena = _arena_for(small_graph, policy, backend, dests)
+        subset = np.array([0, 2, 5], dtype=np.int64)
+        ref = compute_trees_batched(ref_arena, subset, secure, breaks)
+        alt = compute_trees_batched(alt_arena, subset, secure, breaks)
+        assert ref.choice.tobytes() == alt.choice.tobytes()
+        ref_w = subtree_weights_batched(
+            ref_arena, subset, ref.choice, small_graph.weights
+        )
+        alt_w = subtree_weights_batched(
+            alt_arena, subset, alt.choice, small_graph.weights
+        )
+        assert ref_w.tobytes() == alt_w.tobytes()
+
+    def test_fixpoint_structures_bit_identical(self, small_graph, policy, backend):
+        dests = list(range(0, small_graph.n, 13))
+        ref = get_policy(policy).build_many(small_graph, dests, backend="numpy")
+        alt = get_policy(policy).build_many(small_graph, dests, backend=backend)
+        for dest, r, a in zip(dests, ref, alt):
+            assert r.cls.tobytes() == a.cls.tobytes(), (policy, backend, dest)
+            assert r.lengths.tobytes() == a.lengths.tobytes(), (policy, backend, dest)
+            assert r.order.tobytes() == a.order.tobytes(), (policy, backend, dest)
+            assert r.indptr.tobytes() == a.indptr.tobytes(), (policy, backend, dest)
+            assert r.cands.tobytes() == a.cands.tobytes(), (policy, backend, dest)
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+class TestKernelParityProperty:
+    """Hypothesis sweep: random GR1 graphs, random security states."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=graphs_with_security(min_nodes=4, max_nodes=14))
+    def test_random_graphs_bit_identical(self, backend, case):
+        graph, secure_nodes = case
+        secure = np.zeros(graph.n, dtype=bool)
+        secure[secure_nodes] = True
+        breaks = secure.copy()
+        dests = list(range(graph.n))
+        for policy in ("security_1st", "security_3rd"):
+            ref = get_policy(policy).build_many(graph, dests, backend="numpy")
+            alt = get_policy(policy).build_many(graph, dests, backend=backend)
+            for r, a in zip(ref, alt):
+                assert r.cls.tobytes() == a.cls.tobytes()
+                assert r.cands.tobytes() == a.cands.tobytes()
+            ref_arena = RoutingArena.build(
+                graph.n, dests, ref, policy=policy, backend="numpy"
+            )
+            alt_arena = RoutingArena.build(
+                graph.n, dests, alt, policy=policy, backend=backend
+            )
+            rt = compute_trees_batched(ref_arena, ref_arena.all_slots(), secure, breaks)
+            at = compute_trees_batched(alt_arena, alt_arena.all_slots(), secure, breaks)
+            assert rt.choice.tobytes() == at.choice.tobytes()
+            assert rt.secure.tobytes() == at.secure.tobytes()
+
+
+class TestArenaBackendPlumbing:
+    def test_arena_carries_backend_through_shm_handle(self, small_graph):
+        from repro.parallel.shm import ArenaHandle
+
+        dests = [0, 1, 2]
+        arena = _arena_for(small_graph, "security_3rd", PARITY_BACKENDS[-1], dests)
+        total, layout = arena.to_blocks()
+        handle = ArenaHandle(
+            name="x", graph_n=arena.graph_n, total_bytes=total,
+            layout=tuple(layout), dests=tuple(dests), backend=arena.backend,
+        )
+        buf = bytearray(total)
+        arena.pack_into(buf)
+        clone = RoutingArena.from_buffer(
+            handle.graph_n, buf, list(handle.layout), backend=handle.backend
+        )
+        assert clone.backend == arena.backend
+
+    def test_cache_stats_report_backend(self, small_graph):
+        cache = RoutingCache(small_graph, destinations=[0, 1], backend="python")
+        assert cache.backend_name == "python"
+        assert cache.stats().backend == "python"

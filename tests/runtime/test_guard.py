@@ -185,6 +185,7 @@ class TestLadderRungNames:
             "reduced_workers",
             "serial_workers",
             "lazy_warm",
+            "compiled_to_numpy",
         )
 
 

@@ -226,6 +226,54 @@ def canonical(graph: ASGraph) -> tuple:
     )
 
 
+class TestPaperScaleForecast:
+    """36K-shaped synthetics: the guard must plan, not discover, OOM.
+
+    A full 36,964 x 36,964 arena forecasts in the hundreds of GiB —
+    these tests assert the forecast says so *without allocating*, that a
+    budgeted run defers the warm on the forecast alone, and that the
+    forecast stays an over-estimate of real packed arenas (the property
+    the 36K plan depends on, checked at a size the suite can afford).
+    """
+
+    N_PAPER = 36964  # the Cyclops Dec-9-2010 snapshot's AS count
+
+    def test_full_grid_forecast_is_hundreds_of_gib(self):
+        total = RoutingArena.estimate_bytes(self.N_PAPER, self.N_PAPER)
+        assert total > 100 * 2**30  # dense alone is 9 * 36964^2 ~ 11 GiB
+        # sampling destinations is what makes paper scale feasible:
+        sampled = RoutingArena.estimate_bytes(256, self.N_PAPER)
+        assert sampled < 2 * 2**30
+
+    def test_budgeted_36k_plan_defers_warm_without_allocating(self):
+        from repro.runtime.guard import current_guard
+
+        guard = RuntimeGuard(memory=MemoryBudget("8GiB"))
+        estimate = RoutingArena.estimate_bytes(self.N_PAPER, self.N_PAPER)
+        with use_guard(guard):
+            assert not current_guard().fits_memory(estimate)
+            # the setup path's exact decision, minus the (unaffordable)
+            # topology generation: over budget -> lazy_warm rung
+            current_guard().degrade("lazy_warm", "test: 36K arena over budget")
+        assert guard.ladder.taken("lazy_warm") == 1
+
+    def test_compiled_to_numpy_is_a_registered_rung(self):
+        guard = RuntimeGuard()
+        guard.degrade("compiled_to_numpy", "test: backend missing")
+        assert guard.ladder.taken("compiled_to_numpy") == 1
+
+    def test_forecast_bounds_real_arenas_with_sampled_dests(self):
+        """estimate_bytes >= packed bytes on a 36K-shaped (sampled-dest)
+        arena — shrunk to n=600 so the suite can afford to build it."""
+        env = build_environment(n=600, seed=11, x=0.10, warm=True,
+                                sample_destinations=48)
+        arena = env.cache.ensure_arena()
+        actual, _ = arena.to_blocks()
+        estimate = RoutingArena.estimate_bytes(arena.num_dests, env.graph.n)
+        assert estimate >= actual
+        assert estimate < 60 * actual  # an over-estimate, not a fantasy
+
+
 class TestRoundTripProperties:
     @settings(max_examples=40, deadline=None)
     @given(as_graphs(with_cps=True))
