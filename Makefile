@@ -57,13 +57,17 @@ bench-json:
 # machines have mean runtimes dominated by scheduler outliers; --only
 # kernel because the gate is a *kernel* regression gate (artifact
 # benches run once and can't clear a 10% bar on shared hardware).
-# --speedup pins the compiled tier's headline: batched trees on the
-# cext backend at least 3x faster than numpy in the same snapshot.
+# --speedup pins two headlines in the same snapshot: batched trees on
+# the cext backend at least 3x faster than numpy, and the batched
+# multi-origin attack kernel at least 3x faster than the per-pair
+# scalar reference (it measures ~50-100x; 3x is the do-not-regress bar).
 bench-compare:
 	python scripts/bench_compare.py $(BENCH_OLD) $(BENCH_NEW) \
 		--require kernel --require kernel_policy \
-		--require kernel_backend --stat min --only kernel \
-		--speedup "kernel_backend_trees[cext]:kernel_backend_trees[numpy]:3.0"
+		--require kernel_backend --require kernel_attack \
+		--stat min --only kernel \
+		--speedup "kernel_backend_trees[cext]:kernel_backend_trees[numpy]:3.0" \
+		--speedup "kernel_attack_batched[origin_hijack-numpy]:kernel_attack_scalar:3.0"
 
 bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only

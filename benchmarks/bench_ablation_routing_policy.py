@@ -23,7 +23,7 @@ from repro.core.dynamics import run_deployment
 from repro.experiments.report import format_table
 from repro.routing.cache import RoutingCache
 from repro.routing.tiebreak import collect_tiebreak_stats
-from repro.routing.variants import restrict_to_primary
+from repro.routing.policy import restrict_to_primary
 
 THETA = 0.05
 

@@ -474,6 +474,8 @@ class InlineKernelCall(Rule):
             "run_case_study",
             "run_cp_vs_tier1",
             "run_experiment",
+            "run_attack_matrix",
+            "simulate_attacks_batched",
             "build_environment",
             "DeploymentSimulation",
             "simulate_bgp",
@@ -544,6 +546,57 @@ class DirectKernelImplImport(Rule):
             self._check(ctx, node, f"{module}.{alias.name}" if module else alias.name)
 
 
+class ScenarioRegistryBypass(Rule):
+    code = "RPR014"
+    name = "scenario-registry-bypass"
+    message = (
+        "attack scenario constructed/resolved outside the registry; use "
+        "get_scenario()/available_scenarios() (or register_scenario() for "
+        "new ones in repro.security.scenarios)"
+    )
+    rationale = (
+        "PR 9 keys attack-matrix journals, job-spec digests and telemetry "
+        "labels on registered scenario names.  An AttackScenario built "
+        "outside repro.security.scenarios has no registered name, so journal "
+        "resume guards and spec canonicalisation cannot see it — and direct "
+        "registry-dict access bypasses alias resolution and the idempotence "
+        "check."
+    )
+
+    _HOME = "repro.security.scenarios"
+    _REGISTRIES = ("_SCENARIOS", "_SCENARIO_ALIASES", "_STRATEGIES")
+
+    def visit_call(self, ctx: FileContext, node: ast.Call) -> None:
+        if ctx.is_module(self._HOME):
+            return
+        resolved = ctx.resolve(node.func)
+        if resolved == "AttackScenario" or (
+            resolved is not None and resolved.endswith(".AttackScenario")
+        ):
+            ctx.report(self, node)
+
+    def visit_attribute(self, ctx: FileContext, node: ast.Attribute) -> None:
+        self._check_registry(ctx, node, ctx.resolve(node))
+
+    def visit_name(self, ctx: FileContext, node: ast.Name) -> None:
+        if node.id in ctx.aliases:
+            self._check_registry(ctx, node, ctx.aliases[node.id])
+
+    def _check_registry(self, ctx: FileContext, node: ast.AST, dotted: str | None) -> None:
+        if ctx.is_module(self._HOME):
+            return
+        if dotted is not None and any(
+            dotted.endswith(f"security.scenarios.{registry}")
+            for registry in self._REGISTRIES
+        ):
+            ctx.report(
+                self,
+                node,
+                "direct scenario-registry access; use available_scenarios()/"
+                "get_scenario() (or available_strategies()/get_strategy())",
+            )
+
+
 #: Registration order is cosmetic only — findings sort by location.
 ALL_RULES: tuple[Rule, ...] = (
     NonAtomicWrite(),
@@ -558,6 +611,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnboundedBlockingCall(),
     InlineKernelCall(),
     DirectKernelImplImport(),
+    ScenarioRegistryBypass(),
 )
 
 

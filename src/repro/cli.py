@@ -7,7 +7,9 @@ Subcommands mirror the experiment harness:
 - ``tiebreak``     tiebreak-set statistics (Figure 10, §6.6-6.7);
 - ``cp-vs-tier1``  Figure 12;
 - ``turnoff``      the §7.3 disable-incentive census;
-- ``attack-impact`` hijack impact vs deployment level (§2.2.1);
+- ``attack-impact`` attack impact vs deployment level (§2.2.1
+  generalised: any registered scenario x deployment strategy, with
+  ``--journal``/``--resume`` checkpointing like ``sweep``);
 - ``graph-stats``  Tables 2-4 for the generated topology;
 - ``validate-graph`` preflight a real as-rel snapshot (quarantine report).
 
@@ -118,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "attack-impact":
             p.add_argument("--samples", type=int, default=15,
                            help="attacker/victim pairs per state")
+            p.add_argument("--scenario", action="append", default=None,
+                           metavar="NAME",
+                           help="attack scenario to evaluate; repeatable "
+                                "(aliases like 'hijack' work; default: all "
+                                "registered scenarios)")
+            p.add_argument("--strategy", action="append", default=None,
+                           metavar="NAME",
+                           help="deployment strategy supplying the states; "
+                                "repeatable (default: all registered "
+                                "strategies)")
+            p.add_argument("--levels", default=None, metavar="F1,F2,...",
+                           help="comma-separated deployment levels in [0,1] "
+                                "(default: 0,0.25,0.5,0.75,1)")
+            p.add_argument("--attack-seed", type=int, default=0,
+                           help="seed for the shared (victim, attacker) "
+                                "pair sample")
+            p.add_argument("--journal", default=None, metavar="PATH",
+                           help="checkpoint each finished matrix cell to "
+                                "this JSONL journal (repro.run-journal/1)")
+            p.add_argument("--resume", action="store_true",
+                           help="replay completed cells from an existing "
+                                "--journal instead of recomputing them")
         if name == "experiment":
             p.add_argument("--id", default=None,
                            help="experiment id (omit to list all)")
@@ -368,22 +392,53 @@ def _cmd_turnoff(env, args) -> None:
 
 
 def _cmd_attack_impact(env, args) -> None:
-    from repro.core.state import DeploymentState, StateDeriver
-    from repro.security import end_state_everyone_secure, impact_for_state
+    from repro.experiments.attack_matrix import matrix_to_rows, run_attack_matrix
+    from repro.runtime.errors import PersistenceError
+    from repro.runtime.journal import RunJournal
+    from repro.security import get_scenario, get_strategy
 
-    deriver = StateDeriver(env.graph, stub_breaks_ties=True,
-                           compiled=env.cache.compiled)
-    rows = []
-    empty = DeploymentState(frozenset(), frozenset())
-    imp = impact_for_state(env.graph, deriver, empty, samples=args.samples)
-    rows.append(["insecure internet", f"{imp.mean_fraction_fooled:.3f}"])
-    end = end_state_everyone_secure(env.graph)
-    imp = impact_for_state(env.graph, deriver, end, samples=args.samples,
-                           drop_unvalidated=True)
-    rows.append(["end state + filtering", f"{imp.mean_fraction_fooled:.3f}"])
+    journal = None
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    if args.journal:
+        journal = RunJournal(args.journal)
+        if journal.exists() and not args.resume:
+            raise SystemExit(
+                f"journal {args.journal} already exists; "
+                f"pass --resume to continue it or choose a fresh path"
+            )
+    try:
+        scenarios = (
+            [get_scenario(s).name for s in args.scenario] if args.scenario else None
+        )
+        strategies = (
+            [get_strategy(s).name for s in args.strategy] if args.strategy else None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    levels = (0.0, 0.25, 0.5, 0.75, 1.0)
+    if args.levels:
+        levels = tuple(float(f) for f in args.levels.split(",") if f)
+    try:
+        cells = run_attack_matrix(
+            env,
+            scenarios=scenarios,
+            policies=[env.cache.policy_name],
+            strategies=strategies,
+            levels=levels,
+            samples=args.samples,
+            seed=args.attack_seed,
+            journal=journal,
+        )
+    except PersistenceError as exc:
+        # journal mismatch/corruption and scenario-mismatch SchemaError
+        # all surface as one-line messages, not tracebacks
+        raise SystemExit(str(exc)) from exc
     print(format_table(
-        ["state", "mean fraction fooled"], rows,
-        title="Origin-hijack impact (sec 2.2.1: ~0.5 today, ~own stubs after)",
+        ["scenario", "policy", "strategy", "level", "frac secure",
+         "mean fooled", "max fooled", "outcome"],
+        matrix_to_rows(cells),
+        title="Attack impact vs deployment level (sec 2.2.1 generalised)",
     ))
 
 

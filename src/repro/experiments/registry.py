@@ -14,6 +14,7 @@ from typing import Callable
 from repro.core.config import SimulationConfig, UtilityModel
 from repro.core.dynamics import DeploymentSimulation
 from repro.core.diamonds import diamond_census
+from repro.experiments.attack_matrix import run_attack_matrix
 from repro.experiments.case_study import run_case_study
 from repro.experiments.report import format_series, format_table
 from repro.experiments.setup import ExperimentEnv
@@ -26,6 +27,7 @@ from repro.routing.tiebreak import (
     collect_tiebreak_stats,
     security_sensitive_decision_fraction,
 )
+from repro.security.scenarios import available_scenarios, available_strategies
 from repro.topology.stats import summarize
 
 
@@ -128,6 +130,42 @@ def _sec83(env: ExperimentEnv) -> str:
     )
 
 
+def _attack_matrix(env: ExperimentEnv) -> str:
+    """The full attack × policy × deployment-strategy grid in one run.
+
+    Every registered scenario × every registered routing policy ×
+    every registered deployment strategy, at three deployment levels,
+    on one shared seeded pair sample.  The printed table pivots the
+    *mid* deployment level (at full deployment the static orderings all
+    coincide): one row per (scenario, strategy), one column of mean
+    fraction fooled per policy; ``-`` marks policies that failed to
+    converge under that scenario (reported, not raised).
+    """
+    cells = run_attack_matrix(env, levels=(0.0, 0.5, 1.0), samples=6)
+    by_key = {c.key: c for c in cells}
+    grid = sorted({c.level for c in cells})
+    top = grid[len(grid) // 2]
+    policies = available_policies()
+    rows = []
+    for scenario in available_scenarios():
+        for strategy in available_strategies():
+            row: list[object] = [scenario, strategy]
+            for policy in policies:
+                cell = by_key[(scenario, policy, strategy, top)]
+                row.append(
+                    f"{cell.mean_fraction_fooled:.3f}"
+                    if cell.outcome == "ok" else "-"
+                )
+            rows.append(row)
+    return format_table(
+        ["scenario", "strategy", *policies], rows,
+        title=(
+            f"Attack matrix: mean fraction fooled at deployment level "
+            f"{top:g} ({len(cells)} cells total)"
+        ),
+    )
+
+
 def _table2(env: ExperimentEnv) -> str:
     s = summarize(env.graph)
     return format_table(
@@ -147,6 +185,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("fig10", "Tiebreak sets", "Fig 10 / §6.6-6.7", _fig10),
         Experiment("sec73", "Turn-off census", "§7.3", _sec73),
         Experiment("sec83", "Routing-policy ablation", "§8.3 / Lychev et al.", _sec83),
+        Experiment(
+            "attack-matrix",
+            "Attack × policy × deployment matrix",
+            "§2.2.1 / Lychev et al. / Barrett et al.",
+            _attack_matrix,
+        ),
         Experiment("table2", "Graph composition", "Table 2 / App D", _table2),
     )
 }

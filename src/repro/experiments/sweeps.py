@@ -82,12 +82,17 @@ class SweepCell:
     num_rounds: int
     outcome: str
     projection_ratios: tuple[float, ...] = ()  # Fig. 14 (theta = 0 runs)
+    #: attack impact at the final state, one ``(scenario, mean fooled,
+    #: max fooled)`` triple per requested scenario (empty when the
+    #: sweep's attack axis is off)
+    attack: tuple[tuple[str, float, float], ...] = ()
 
 
 def cell_to_dict(cell: SweepCell) -> dict:
     """JSON-serialisable form of a cell (for the sweep journal)."""
     payload = dataclasses.asdict(cell)
     payload["projection_ratios"] = list(cell.projection_ratios)
+    payload["attack"] = [list(t) for t in cell.attack]
     return payload
 
 
@@ -96,6 +101,10 @@ def cell_from_dict(payload: dict) -> SweepCell:
     fields = {f.name for f in dataclasses.fields(SweepCell)}
     kwargs = {k: v for k, v in payload.items() if k in fields}
     kwargs["projection_ratios"] = tuple(kwargs.get("projection_ratios", ()))
+    kwargs["attack"] = tuple(
+        (str(s), float(mean), float(peak))
+        for s, mean, peak in kwargs.get("attack", ())
+    )
     return SweepCell(**kwargs)
 
 
@@ -107,14 +116,19 @@ def _sweep_meta(
     utility_model: UtilityModel,
     collect_projection_accuracy: bool,
     max_rounds: int,
+    attack_scenarios: Sequence[str] = (),
+    attack_samples: int = 0,
+    attack_seed: int = 0,
 ) -> dict:
     """Header metadata identifying one sweep grid.
 
     Resuming a journal whose metadata differs raises
     :class:`~repro.runtime.errors.JournalMismatchError` — mixing cells
-    from different grids would silently corrupt figures.
+    from different grids would silently corrupt figures.  The attack
+    keys appear only when the attack axis is on, so journals from
+    before the axis existed still resume byte-identically.
     """
-    return {
+    meta = {
         "num_ases": env.graph.n,
         "policy": env.cache.policy_name,
         "thetas": [float(t) for t in thetas],
@@ -126,6 +140,11 @@ def _sweep_meta(
         "collect_projection_accuracy": collect_projection_accuracy,
         "max_rounds": max_rounds,
     }
+    if attack_scenarios:
+        meta["attack_scenarios"] = sorted(attack_scenarios)
+        meta["attack_samples"] = int(attack_samples)
+        meta["attack_seed"] = int(attack_seed)
+    return meta
 
 
 def _run_cell(
@@ -137,6 +156,9 @@ def _run_cell(
     utility_model: UtilityModel,
     collect_projection_accuracy: bool,
     max_rounds: int,
+    attack_scenarios: Sequence[str] = (),
+    attack_samples: int = 8,
+    attack_seed: int = 0,
 ) -> SweepCell:
     """Simulate one (adopter set, theta) pair to termination."""
     config = SimulationConfig(
@@ -149,9 +171,10 @@ def _run_cell(
     sim = DeploymentSimulation(env.graph, adopters, config, env.cache)
     result = sim.run()
     outcome = deployment_outcome(result)
+    deriver = StateDeriver(env.graph, stub_breaks_ties, env.cache.compiled)
     final_rd = compute_round_data(
         env.cache,
-        StateDeriver(env.graph, stub_breaks_ties, env.cache.compiled),
+        deriver,
         result.final_state,
         utility_model,
     )
@@ -159,6 +182,21 @@ def _run_cell(
     ratios: tuple[float, ...] = ()
     if collect_projection_accuracy:
         ratios = tuple(projection_accuracy(result))
+    attack: tuple[tuple[str, float, float], ...] = ()
+    if attack_scenarios:
+        from repro.security.metrics import impact_for_state
+
+        impacts = []
+        for scenario in attack_scenarios:
+            impact = impact_for_state(
+                env.graph, deriver, result.final_state,
+                samples=attack_samples, seed=attack_seed,
+                scenario=scenario, policy=env.cache.policy_name,
+            )
+            impacts.append(
+                (scenario, impact.mean_fraction_fooled, impact.max_fraction_fooled)
+            )
+        attack = tuple(impacts)
     return SweepCell(
         adopters=name,
         theta=theta,
@@ -171,6 +209,7 @@ def _run_cell(
         num_rounds=outcome.num_rounds,
         outcome=outcome.outcome,
         projection_ratios=ratios,
+        attack=attack,
     )
 
 
@@ -209,6 +248,9 @@ def run_sweep(
     journal: RunJournal | str | Path | None = None,
     cell_cache: CellCache | None = None,
     on_cell: CellCallback | None = None,
+    attack_scenarios: Sequence[str] = (),
+    attack_samples: int = 8,
+    attack_seed: int = 0,
 ) -> list[SweepCell]:
     """Run the full (adopter set x theta) grid and return its cells.
 
@@ -221,7 +263,18 @@ def run_sweep(
     computation: hits are adopted verbatim (and still journaled, so
     resume stays complete) and misses are published after computing.
     ``on_cell`` observes every finished cell with its provenance.
+
+    ``attack_scenarios`` turns on the sweep's attack axis: each cell's
+    final state is additionally attacked under every named scenario
+    (``attack_samples`` seeded pairs, batched kernel) and the impacts
+    land in :attr:`SweepCell.attack`.  The axis participates in the
+    journal header, so a journal recorded with a different axis refuses
+    to resume.
     """
+    if attack_scenarios:
+        from repro.security.scenarios import get_scenario
+
+        attack_scenarios = [get_scenario(s).name for s in attack_scenarios]
     adopter_sets = adopter_sets or env.adopter_sets()
     journal = coerce_journal(journal)
     done: dict[tuple[str, float], SweepCell] = {}
@@ -232,6 +285,7 @@ def run_sweep(
             _sweep_meta(
                 env, thetas, adopter_sets, stub_breaks_ties,
                 utility_model, collect_projection_accuracy, max_rounds,
+                attack_scenarios, attack_samples, attack_seed,
             ),
         )
         for record in journal.iter_records():
@@ -276,6 +330,7 @@ def run_sweep(
                     cell = _run_cell(
                         env, name, adopters, theta, stub_breaks_ties,
                         utility_model, collect_projection_accuracy, max_rounds,
+                        attack_scenarios, attack_samples, attack_seed,
                     )
                 registry.counter("sweep.cells").inc()
                 if journal is not None:

@@ -21,10 +21,12 @@ from repro.routing.policy import (
     RouteClass,
     RoutingPolicy,
     available_policies,
+    compute_dest_routing_sp_first,
     exportable_to,
     get_policy,
     policy_table,
     register_policy,
+    restrict_to_primary,
     tie_hash,
     tie_hash_array,
 )
@@ -46,11 +48,6 @@ from repro.routing.tree import (
     compute_dest_routing,
     route_classes_and_lengths,
 )
-from repro.routing.variants import (
-    compute_dest_routing_sp_first,
-    restrict_to_primary,
-)
-
 __all__ = [
     "CacheStats",
     "ConvergenceError",

@@ -1,8 +1,9 @@
 """Kernel backend registry: one namespace, several implementations.
 
-The three hot kernels — the batched tree resolver, the batched subtree
-weights, and the synchronous-Jacobi fixpoint sweep — exist in multiple
-implementations ("backends") behind this registry:
+The four hot kernels — the batched tree resolver, the batched subtree
+weights, the synchronous-Jacobi fixpoint sweep, and its multi-origin
+attack variant — exist in multiple implementations ("backends") behind
+this registry:
 
 - ``numpy``: the original vectorised code, moved verbatim into
   :mod:`repro.routing.backends.numpy_impl`.  It is the **differential
@@ -189,7 +190,8 @@ def load_backend(name: str) -> Any:
     """Import (and for compiled tiers, compile + warm) backend ``name``.
 
     Returns the implementation module exposing ``trees_level``,
-    ``weights_level`` and ``fixpoint_sweep``.  Load results are cached
+    ``weights_level``, ``fixpoint_sweep`` and ``attack_sweep``.  Load
+    results are cached
     both ways: a success is never re-imported, a failure is never
     retried within the process (compilation attempts are expensive and
     deterministic).

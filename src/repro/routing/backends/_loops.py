@@ -167,3 +167,102 @@ def _edge_key(e, row, v, route_cls, lp_field, is_provider_edge,
             field = secp
         key = np.uint32((key << rank_widths[i]) | field)
     return key
+
+
+def attack_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                 lp_field, is_provider_edge, rank_codes, rank_widths,
+                 attacker, gullible_edge, validators, leak, drop,
+                 cls, length, sec, att, applies_edge, node_secure,
+                 new_cls, new_len, new_sec, new_att):
+    """One multi-origin (victim + attacker) best-response step.
+
+    The fixpoint sweep with a per-row adversary: ``att`` tracks which
+    labels descend from the attacker's announcement, ``gullible_edge``
+    marks the provider edges where a simplex stub would believe the
+    attacker's word (§2.2.1), ``validators`` + ``drop`` bar unvalidated
+    routes at fully-validating ASes, and ``leak`` lets offers *from*
+    the attacker bypass GR2 (a route leak).  The caller pins the
+    principals' labels after each step.
+    """
+    for row in range(cls.shape[0]):
+        att_row = attacker[row]
+        for s in range(seg_starts.shape[0]):
+            lo = seg_starts[s]
+            m = seg_sizes[s]
+            uu = seg_u[s]
+            drop_u = drop and validators[uu]
+            best = _INVALID_A
+            for e in range(lo, lo + m):
+                k = _attack_edge_key(e, row, att_row, drop_u, leak,
+                                     v, lp_field, is_provider_edge,
+                                     applies_edge, gullible_edge,
+                                     rank_codes, rank_widths,
+                                     cls, length, sec, att)
+                if k < best:
+                    best = k
+            if best == _INVALID_A:
+                new_cls[row, uu] = _UNREACHABLE
+                new_len[row, uu] = -1
+                new_sec[row, uu] = False
+                new_att[row, uu] = False
+                continue
+            best_tie = _BLOCKED
+            for e in range(lo, lo + m):
+                k = _attack_edge_key(e, row, att_row, drop_u, leak,
+                                     v, lp_field, is_provider_edge,
+                                     applies_edge, gullible_edge,
+                                     rank_codes, rank_widths,
+                                     cls, length, sec, att)
+                if k == best and tie_key[e] < best_tie:
+                    best_tie = tie_key[e]
+            eidx = lo + np.int64(best_tie & _POS_MASK)
+            vv = v[eidx]
+            seen = sec[row, vv] or (
+                gullible_edge[eidx] and vv == att_row and att[row, vv]
+            )
+            new_cls[row, uu] = route_cls[eidx]
+            new_len[row, uu] = length[row, vv] + 1
+            new_sec[row, uu] = node_secure[uu] and seen
+            new_att[row, uu] = att[row, vv]
+
+
+def _attack_edge_key(e, row, att_row, drop_u, leak,
+                     v, lp_field, is_provider_edge,
+                     applies_edge, gullible_edge,
+                     rank_codes, rank_widths, cls, length, sec, att):
+    """Rank key of one offer under attack; ``_INVALID_A`` if barred."""
+    vv = v[e]
+    cv = cls[row, vv]
+    if cv == _UNREACHABLE:
+        return _INVALID_A
+    # GR2, with the leak escape hatch: the attacker exports its selected
+    # route to every neighbor regardless of class.
+    if not (is_provider_edge[e] or cv == _CUSTOMER or cv == _SELF
+            or (leak and vv == att_row)):
+        return _INVALID_A
+    # end-state filtering: validators reject what cannot be validated
+    # (genuine security only — gullible belief does not survive ROV).
+    if drop_u and not sec[row, vv]:
+        return _INVALID_A
+    lv = length[row, vv]
+    if lv < 0:
+        lv = 0
+    sp = np.uint32(lv + 1)
+    seen = sec[row, vv] or (
+        gullible_edge[e] and vv == att_row and att[row, vv]
+    )
+    if applies_edge[e] and seen:
+        secp = np.uint32(0)
+    else:
+        secp = np.uint32(1)
+    key = np.uint32(0)
+    for i in range(rank_codes.shape[0]):
+        code = rank_codes[i]
+        if code == 0:
+            field = np.uint32(lp_field[e])
+        elif code == 1:
+            field = sp
+        else:
+            field = secp
+        key = np.uint32((key << rank_widths[i]) | field)
+    return key

@@ -196,6 +196,107 @@ void sbgp_fixpoint_sweep(
         }
     }
 }
+
+static inline uint32_t sbgp_attack_edge_key(
+    int64_t e, int64_t att_row, int drop_u, int leak,
+    const int32_t *v, const uint32_t *lp_field,
+    const uint8_t *is_provider_edge, const uint8_t *applies_edge,
+    const uint8_t *gullible_edge,
+    const int64_t *rank_codes, const uint32_t *rank_widths,
+    const int8_t *cls_r, const int32_t *len_r, const uint8_t *sec_r,
+    const uint8_t *att_r)
+{
+    int32_t vv = v[e];
+    int8_t cv = cls_r[vv];
+    if (cv == -1)
+        return INVALID_KEY;
+    /* GR2, with the leak escape hatch: the attacker exports its
+     * selected route to every neighbor regardless of class. */
+    if (!(is_provider_edge[e] || cv == 2 || cv == 3 ||
+          (leak && vv == att_row)))
+        return INVALID_KEY;
+    /* end-state filtering: validators reject what cannot be validated
+     * (genuine security only — gullible belief fails ROV). */
+    if (drop_u && !sec_r[vv])
+        return INVALID_KEY;
+    int32_t lv = len_r[vv];
+    if (lv < 0)
+        lv = 0;
+    uint32_t sp = (uint32_t)(lv + 1);
+    int seen = sec_r[vv] ||
+        (gullible_edge[e] && vv == att_row && att_r[vv]);
+    uint32_t secp = (applies_edge[e] && seen) ? 0u : 1u;
+    uint32_t key = 0;
+    for (int i = 0; i < 3; i++) {
+        uint32_t field = rank_codes[i] == 0
+            ? lp_field[e]
+            : (rank_codes[i] == 1 ? sp : secp);
+        key = (key << rank_widths[i]) | field;
+    }
+    return key;
+}
+
+void sbgp_attack_sweep(
+    int64_t chunk, int64_t n, int64_t num_segs,
+    const int32_t *v, const int8_t *route_cls,
+    const int64_t *seg_starts, const int64_t *seg_sizes,
+    const int32_t *seg_u, const uint64_t *tie_key,
+    const uint32_t *lp_field, const uint8_t *is_provider_edge,
+    const int64_t *rank_codes, const uint32_t *rank_widths,
+    const int64_t *attacker, const uint8_t *gullible_edge,
+    const uint8_t *validators, int64_t leak, int64_t drop,
+    const int8_t *cls, const int32_t *length, const uint8_t *sec,
+    const uint8_t *att, const uint8_t *applies_edge,
+    const uint8_t *node_secure,
+    int8_t *new_cls, int32_t *new_len, uint8_t *new_sec, uint8_t *new_att)
+{
+    for (int64_t row = 0; row < chunk; row++) {
+        const int8_t *cls_r = cls + row * n;
+        const int32_t *len_r = length + row * n;
+        const uint8_t *sec_r = sec + row * n;
+        const uint8_t *att_r = att + row * n;
+        int64_t att_row = attacker[row];
+        for (int64_t s = 0; s < num_segs; s++) {
+            int64_t lo = seg_starts[s];
+            int64_t m = seg_sizes[s];
+            int64_t uu = seg_u[s];
+            int drop_u = drop && validators[uu];
+            uint32_t best = INVALID_KEY;
+            for (int64_t e = lo; e < lo + m; e++) {
+                uint32_t k = sbgp_attack_edge_key(
+                    e, att_row, drop_u, (int)leak, v, lp_field,
+                    is_provider_edge, applies_edge, gullible_edge,
+                    rank_codes, rank_widths, cls_r, len_r, sec_r, att_r);
+                if (k < best)
+                    best = k;
+            }
+            if (best == INVALID_KEY) {
+                new_cls[row * n + uu] = -1;
+                new_len[row * n + uu] = -1;
+                new_sec[row * n + uu] = 0;
+                new_att[row * n + uu] = 0;
+                continue;
+            }
+            uint64_t best_tie = UINT64_MAX;
+            for (int64_t e = lo; e < lo + m; e++) {
+                uint32_t k = sbgp_attack_edge_key(
+                    e, att_row, drop_u, (int)leak, v, lp_field,
+                    is_provider_edge, applies_edge, gullible_edge,
+                    rank_codes, rank_widths, cls_r, len_r, sec_r, att_r);
+                if (k == best && tie_key[e] < best_tie)
+                    best_tie = tie_key[e];
+            }
+            int64_t eidx = lo + (int64_t)(best_tie & POS_MASK);
+            int32_t vv = v[eidx];
+            int seen = sec_r[vv] ||
+                (gullible_edge[eidx] && vv == att_row && att_r[vv]);
+            new_cls[row * n + uu] = route_cls[eidx];
+            new_len[row * n + uu] = len_r[vv] + 1;
+            new_sec[row * n + uu] = (uint8_t)(node_secure[uu] && seen);
+            new_att[row * n + uu] = att_r[vv];
+        }
+    }
+}
 """
 
 
@@ -251,7 +352,7 @@ def _load_library() -> ctypes.CDLL:
     except OSError as exc:  # dlopen failure
         raise BackendUnavailable(f"cannot load compiled kernels: {exc}") from exc
     for name in ("sbgp_trees_level", "sbgp_weights_level",
-                 "sbgp_fixpoint_sweep"):
+                 "sbgp_fixpoint_sweep", "sbgp_attack_sweep"):
         fn = getattr(lib, name)
         fn.restype = None
     return lib
@@ -313,4 +414,27 @@ def fixpoint_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
         _ptr(applies_edge, np.bool_), _ptr(node_secure, np.bool_),
         _ptr(new_cls, np.int8), _ptr(new_len, np.int32),
         _ptr(new_sec, np.bool_), _ptr(tied, np.bool_),
+    )
+
+
+def attack_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                 lp_field, is_provider_edge, rank_codes, rank_widths,
+                 attacker, gullible_edge, validators, leak, drop,
+                 cls, length, sec, att, applies_edge, node_secure,
+                 new_cls, new_len, new_sec, new_att):
+    """One multi-origin (victim + attacker) best-response step."""
+    _LIB.sbgp_attack_sweep(
+        _I64(cls.shape[0]), _I64(cls.shape[1]), _I64(len(seg_starts)),
+        _ptr(v, np.int32), _ptr(route_cls, np.int8),
+        _ptr(seg_starts, np.int64), _ptr(seg_sizes, np.int64),
+        _ptr(seg_u, np.int32), _ptr(tie_key, np.uint64),
+        _ptr(lp_field, np.uint32), _ptr(is_provider_edge, np.bool_),
+        _ptr(rank_codes, np.int64), _ptr(rank_widths, np.uint32),
+        _ptr(attacker, np.int64), _ptr(gullible_edge, np.bool_),
+        _ptr(validators, np.bool_), _I64(int(leak)), _I64(int(drop)),
+        _ptr(cls, np.int8), _ptr(length, np.int32), _ptr(sec, np.bool_),
+        _ptr(att, np.bool_), _ptr(applies_edge, np.bool_),
+        _ptr(node_secure, np.bool_),
+        _ptr(new_cls, np.int8), _ptr(new_len, np.int32),
+        _ptr(new_sec, np.bool_), _ptr(new_att, np.bool_),
     )

@@ -26,17 +26,21 @@ _jit = njit(cache=True, fastmath=False, nogil=True)
 
 trees_level = _jit(_loops.trees_level)
 weights_level = _jit(_loops.weights_level)
-# fixpoint_sweep calls _edge_key through _loops' module globals, so the
-# helper must be rebound to its Dispatcher *in that namespace* before
-# the sweep is compiled (a Dispatcher is still a callable, so the pure
-# "python" backend keeps working — marginally faster, identical bits).
+# fixpoint_sweep calls _edge_key through _loops' module globals (and
+# attack_sweep calls _attack_edge_key the same way), so the helpers must
+# be rebound to their Dispatchers *in that namespace* before the sweeps
+# are compiled (a Dispatcher is still a callable, so the pure "python"
+# backend keeps working — marginally faster, identical bits).
 if not hasattr(_loops._edge_key, "py_func"):
     _loops._edge_key = _jit(_loops._edge_key)
+if not hasattr(_loops._attack_edge_key, "py_func"):
+    _loops._attack_edge_key = _jit(_loops._attack_edge_key)
 fixpoint_sweep = _jit(_loops.fixpoint_sweep)
+attack_sweep = _jit(_loops.attack_sweep)
 
 
 def _warm_up() -> None:
-    """Compile all three kernels on minimal dtype-exact inputs."""
+    """Compile all four kernels on minimal dtype-exact inputs."""
     n = 2
     nodes = np.zeros(1, dtype=np.int32)
     sizes = np.ones(1, dtype=np.int64)
@@ -80,6 +84,17 @@ def _warm_up() -> None:
                    lp_field, is_provider_edge, rank_codes, rank_widths,
                    cls, length, sec, applies_edge, node_secure,
                    new_cls, new_len, new_sec, tied)
+
+    attacker = np.ones(1, dtype=np.int64)
+    gullible_edge = np.zeros(1, dtype=np.bool_)
+    validators = np.zeros(n, dtype=np.bool_)
+    att = np.zeros((1, n), dtype=np.bool_)
+    new_att = np.zeros((1, n), dtype=np.bool_)
+    attack_sweep(u, v, route_cls, seg_starts, seg_sizes, seg_u, tie_key,
+                 lp_field, is_provider_edge, rank_codes, rank_widths,
+                 attacker, gullible_edge, validators, False, False,
+                 cls, length, sec, att, applies_edge, node_secure,
+                 new_cls, new_len, new_sec, new_att)
 
 
 _warm_up()

@@ -135,3 +135,91 @@ def fixpoint_sweep(
     )
     new_len[:, seg_u] = np.where(reachable, len_v + 1, -1)
     new_sec[:, seg_u] = reachable & node_secure[seg_u] & sec_v
+
+
+def attack_sweep(
+    u: np.ndarray,
+    v: np.ndarray,
+    route_cls: np.ndarray,
+    seg_starts: np.ndarray,
+    seg_sizes: np.ndarray,
+    seg_u: np.ndarray,
+    tie_key: np.ndarray,
+    lp_field: np.ndarray,
+    is_provider_edge: np.ndarray,
+    rank_codes: np.ndarray,
+    rank_widths: np.ndarray,
+    attacker: np.ndarray,
+    gullible_edge: np.ndarray,
+    validators: np.ndarray,
+    leak: bool,
+    drop: bool,
+    cls: np.ndarray,
+    length: np.ndarray,
+    sec: np.ndarray,
+    att: np.ndarray,
+    applies_edge: np.ndarray,
+    node_secure: np.ndarray,
+    new_cls: np.ndarray,
+    new_len: np.ndarray,
+    new_sec: np.ndarray,
+    new_att: np.ndarray,
+) -> None:
+    """One multi-origin (victim + attacker) best-response step.
+
+    The fixpoint sweep with a per-row adversary (``attacker[row]``):
+    ``att`` marks labels descending from the attacker's announcement,
+    ``gullible_edge`` the provider edges where a simplex stub believes
+    the attacker's word (§2.2.1), ``validators`` + ``drop`` bar
+    unvalidated routes at fully-validating ASes, and ``leak`` lets
+    offers *from* the attacker bypass GR2.  The caller pins the
+    principals' labels after each step.
+    """
+    att_col = attacker[:, None]
+    from_attacker = v[None, :] == att_col
+    cls_v = cls[:, v]
+    sec_v = sec[:, v]
+    announces = (cls_v == _CUSTOMER) | (cls_v == _SELF)
+    exportable = is_provider_edge | announces
+    if leak:
+        exportable = exportable | from_attacker
+    valid = (cls_v != _UNREACHABLE) & exportable
+    if drop:
+        valid &= sec_v | ~validators[u][None, :]
+    seen = sec_v | (gullible_edge[None, :] & from_attacker & att[:, v])
+
+    sp_field = (np.maximum(length[:, v], 0) + 1).astype(np.uint32)
+    secp_field = 1 - (applies_edge & seen).astype(np.uint32)
+    key = np.zeros(valid.shape, dtype=np.uint32)
+    for i in range(len(rank_codes)):
+        code = int(rank_codes[i])
+        if code == 0:
+            field: np.ndarray = lp_field
+        elif code == 1:
+            field = sp_field
+        else:
+            field = secp_field
+        key = (key << np.uint32(rank_widths[i])) | field
+    key_a = np.where(valid, key, _INVALID_A)
+
+    best_a = np.minimum.reduceat(key_a, seg_starts, axis=1)
+    tied = (key_a == np.repeat(best_a, seg_sizes, axis=1)) & (
+        key_a != _INVALID_A
+    )
+    key_b = np.where(tied, tie_key[None, :], _BLOCKED)
+    chosen = np.minimum.reduceat(key_b, seg_starts, axis=1)
+    reachable = best_a != _INVALID_A
+    eidx = seg_starts[None, :] + np.where(
+        reachable, (chosen & _POS_MASK).astype(np.int64), 0
+    )
+    v_sel = v[eidx]
+    sec_sel = np.take_along_axis(sec, v_sel, axis=1)
+    len_sel = np.take_along_axis(length, v_sel, axis=1)
+    att_sel = np.take_along_axis(att, v_sel, axis=1)
+    seen_sel = np.take_along_axis(seen, eidx, axis=1)
+    new_cls[:, seg_u] = np.where(
+        reachable, route_cls[eidx], np.int8(_UNREACHABLE)
+    )
+    new_len[:, seg_u] = np.where(reachable, len_sel + 1, -1)
+    new_sec[:, seg_u] = reachable & node_secure[seg_u] & seen_sel
+    new_att[:, seg_u] = reachable & att_sel

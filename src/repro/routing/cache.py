@@ -106,7 +106,7 @@ class RoutingCache:
     transform:
         Optional post-processor applied to each computed
         :class:`DestRouting` (e.g. the sticky-primary restriction of
-        :func:`repro.routing.variants.restrict_to_primary` with a
+        :func:`repro.routing.policy.restrict_to_primary` with a
         custom mask — the registered ``sticky_primaries`` policy covers
         the standard §8.3 configuration without this hook).
     backend:

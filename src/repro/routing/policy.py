@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
@@ -65,6 +66,16 @@ class RouteClass(enum.IntEnum):
     PEER = 1
     CUSTOMER = 2
     SELF = 3  # the destination's own (empty) route
+
+
+# plain-int views of the classes for the Python-loop builders below:
+# int(RouteClass.X) costs an enum __int__ dispatch, far too slow for
+# per-node inner loops
+_SELF = int(RouteClass.SELF)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PEER = int(RouteClass.PEER)
+_PROVIDER = int(RouteClass.PROVIDER)
+_UNREACHABLE = int(RouteClass.UNREACHABLE)
 
 
 class Criterion(enum.Enum):
@@ -270,8 +281,6 @@ class RoutingPolicy:
             routings = [base(graph, d, cg) for d in dests]
         sticky = self.sticky_mask(graph.n)
         if sticky is not None:
-            from repro.routing.variants import restrict_to_primary
-
             routings = [restrict_to_primary(r, sticky) for r in routings]
         for r in routings:
             r.policy = self.name
@@ -280,12 +289,168 @@ class RoutingPolicy:
     def _base_builder(self) -> "Callable[..., DestRouting]":
         """State-independent structure builder for this ranking."""
         if self.ranking[0] is Criterion.SP:
-            from repro.routing.variants import compute_dest_routing_sp_first
-
             return compute_dest_routing_sp_first
         from repro.routing.tree import compute_dest_routing
 
         return compute_dest_routing
+
+
+# -- the §8.3 variant builders ------------------------------------------
+#
+# The paper's §8.3 speculates about two deviations from the Appendix-A
+# model; both produce standard DestRouting structures, so the entire
+# deployment game runs unchanged on top of them:
+#
+# - shortest-path-first ("we speculate that considering shortest path
+#   routing policy would lead to overly optimistic results"): ranking
+#   SP > LP > SecP > TB, built by compute_dest_routing_sp_first below
+#   and selected by _base_builder when SP leads the ranking;
+# - sticky primaries ("if a large fraction of multihomed ASes always
+#   use one provider as primary ... our current analysis is likely to
+#   be overly optimistic"): restrict_to_primary collapses sticky nodes'
+#   tiebreak sets to a single fixed choice after the structure is built.
+
+
+def compute_dest_routing_sp_first(
+    graph: "ASGraph", dest: int, compiled: "CompiledGraph | None" = None
+) -> "DestRouting":
+    """Per-destination routing with ``SP > LP`` ranking (GR2 export).
+
+    Selected routes are found by bucketed Dijkstra over unit weights:
+    when a node is finalised, its selected class determines what it may
+    export (everything to customers; only customer routes across
+    peerings and to providers).  Among the minimum-length candidates a
+    node prefers customer over peer over provider next hops (LP as the
+    second criterion), and its tiebreak set is the candidates matching
+    that (length, class) optimum.
+    """
+    from repro.routing.tree import DestRouting
+
+    n = graph.n
+    dist = np.full(n, -1, dtype=np.int32)
+    cls = np.full(n, _UNREACHABLE, dtype=np.int8)
+    dist[dest] = 0
+    cls[dest] = _SELF
+
+    # candidates[v] -> list of (next_hop, class_at_v)
+    candidates: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    buckets: dict[int, list[int]] = {0: [dest]}
+    finalized = np.zeros(n, dtype=bool)
+    level = 0
+    max_level = 0
+    while level <= max_level:
+        for u in buckets.pop(level, ()):  # noqa: B909 - buckets mutated below
+            if finalized[u]:
+                continue
+            finalized[u] = True
+            if u != dest:
+                # LP as the second criterion: the selected class is the
+                # best among the minimum-length candidates, fixed now so
+                # export decisions below can use it
+                cls[u] = max(c for _, c in candidates[u])
+            exports_everywhere = cls[u] in (_CUSTOMER, _SELF)
+            du = int(dist[u])
+            for v, class_at_v in _neighbor_views(graph, u):
+                # GR2: u announces to v iff v is u's customer, or u's
+                # selected route is a customer route / its own prefix
+                v_is_customer_of_u = class_at_v == _PROVIDER
+                if not (v_is_customer_of_u or exports_everywhere):
+                    continue
+                if finalized[v]:
+                    continue
+                cand = du + 1
+                if dist[v] == -1 or cand < dist[v]:
+                    dist[v] = cand
+                    candidates[v] = [(u, class_at_v)]
+                    buckets.setdefault(cand, []).append(v)
+                    max_level = max(max_level, cand)
+                elif cand == dist[v]:
+                    candidates[v].append((u, class_at_v))
+        level += 1
+
+    order = np.flatnonzero(dist != -1).astype(np.int32)
+    sort = np.lexsort((order, dist[order]))
+    order = order[sort]
+    row_of = np.full(n, -1, dtype=np.int32)
+    row_of[order] = np.arange(len(order), dtype=np.int32)
+
+    max_len = int(dist[order[-1]]) if len(order) else 0
+    level_starts = np.searchsorted(
+        dist[order], np.arange(max_len + 2), side="left"
+    ).astype(np.int32)
+
+    indptr = np.zeros(len(order) + 1, dtype=np.int64)
+    flat: list[int] = []
+    for row, v in enumerate(order):
+        v = int(v)
+        if v == dest:
+            indptr[row + 1] = indptr[row]
+            continue
+        best_class = cls[v]
+        chosen = sorted(u for u, c in candidates[v] if c == best_class)
+        flat.extend(chosen)
+        indptr[row + 1] = indptr[row] + len(chosen)
+
+    return DestRouting(
+        dest=dest,
+        cls=cls,
+        lengths=dist,
+        order=order,
+        row_of=row_of,
+        level_starts=level_starts,
+        indptr=indptr,
+        cands=np.asarray(flat, dtype=np.int32),
+    )
+
+
+def _neighbor_views(graph: "ASGraph", u: int):
+    """Yield ``(neighbor, neighbor's class for a route via u)``."""
+    for v in graph.customers[u]:
+        yield v, _PROVIDER   # v reaches u as its provider
+    for v in graph.providers[u]:
+        yield v, _CUSTOMER   # v reaches u as its customer
+    for v in graph.peers[u]:
+        yield v, _PEER
+
+
+def restrict_to_primary(
+    dr: "DestRouting", sticky: np.ndarray
+) -> "DestRouting":
+    """Collapse sticky nodes' tiebreak sets to their fixed primary.
+
+    ``sticky`` is a bool[n] mask.  The primary is the candidate the
+    node's hash tie-break would pick in a security-free world, so the
+    restriction never changes insecure routing — it only removes the
+    competition SecP could have exploited.
+    """
+    from repro.routing.tree import DestRouting
+
+    order, indptr, cands = dr.order, dr.indptr, dr.cands
+    new_cands: list[int] = []
+    new_indptr = np.zeros(len(order) + 1, dtype=np.int64)
+    for row, node in enumerate(order):
+        node = int(node)
+        cs = cands[indptr[row]:indptr[row + 1]]
+        if len(cs) > 1 and sticky[node]:
+            keys = tie_hash_array(
+                np.full(len(cs), node, dtype=np.uint64), cs.astype(np.uint64)
+            )
+            keys = (keys & ~np.uint64((1 << POSITION_BITS) - 1)) | np.arange(
+                len(cs), dtype=np.uint64
+            )
+            cs = cs[int(np.argmin(keys)):][:1]
+        new_cands.extend(int(c) for c in cs)
+        new_indptr[row + 1] = new_indptr[row] + len(cs)
+    return DestRouting(
+        dest=dr.dest,
+        cls=dr.cls,
+        lengths=dr.lengths,
+        order=order,
+        row_of=dr.row_of,
+        level_starts=dr.level_starts,
+        indptr=new_indptr,
+        cands=np.asarray(new_cands, dtype=np.int32),
+    )
 
 
 # -- the registry -------------------------------------------------------

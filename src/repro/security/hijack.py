@@ -1,4 +1,4 @@
-"""Hijack simulation under partial S*BGP deployment.
+"""Attack simulation under partial S*BGP deployment.
 
 The paper quantifies security only indirectly (fraction of secure
 paths, Fig. 9) and flags attack-resilience quantification as future
@@ -8,34 +8,69 @@ Internet (around 15K) on average [15]", whereas with full-ISP + simplex
 deployment "the only open attack vector is for ISPs to announce false
 paths to their own stub customers".
 
-This module makes those claims measurable.  An attacker originates the
-victim's prefix (an origin hijack), both announcements propagate under
-the Appendix-A policies, and every AS picks a side:
+This module makes those claims measurable, for every registered
+:class:`~repro.security.scenarios.AttackScenario` and every registered
+routing policy.  The attacker's announcement and the victim's
+legitimate one propagate together under the policy's ranking, and
+every AS picks a side:
 
 - ASes applying SecP prefer a fully-secure route to the victim over
   the attacker's unsigned one (the hijack is *never* fully secure: the
-  attacker cannot produce the victim's origination signature);
+  attacker cannot produce the victim's origination signature — except
+  in a route leak, where the signatures are genuine);
 - everyone else decides on LP, path length and the hash tie-break —
   exactly how hijacks win today;
 - optionally, the attacker's own *simplex stub customers* believe the
   attacker's announcements are secure (they cannot validate; §2.2.1's
   residual vector).
 
-Routing is computed with a fixpoint propagation over both origins
-(selection at each AS couples the two routes, so the single-origin
-analytic passes do not apply).
+Selection at each AS couples the two origins, so the single-origin
+analytic passes do not apply; routing is a synchronous (Jacobi)
+fixpoint, exactly the iteration of :mod:`repro.routing.fixpoint` with
+two pinned labels.  Two implementations exist:
+
+- :func:`simulate_hijack` — a per-pair scalar reference in plain
+  Python, the differential ground truth;
+- :func:`simulate_attacks_batched` — the same iteration vectorised
+  over (victim, attacker) pairs on the fixpoint edge table, dispatched
+  through the kernel-backend registry (``attack_sweep`` in
+  :mod:`repro.routing.backends`).  The parity suite pins it
+  bit-identical to the scalar reference.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Sequence
 
 import numpy as np
 
-from repro.routing.policy import RouteClass, tie_hash
+from repro.routing import backends as kernel_backends
+from repro.routing.compiled import CompiledGraph
+from repro.routing.policy import (
+    POSITION_BITS,
+    Criterion,
+    DEFAULT_POLICY,
+    RouteClass,
+    get_policy,
+    tie_hash,
+)
+from repro.routing.reference import ConvergenceError
+from repro.security.scenarios import DEFAULT_SCENARIO, get_scenario
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_tracer
 from repro.topology.graph import ASGraph
 
-_EXPORT_OK = (RouteClass.CUSTOMER, RouteClass.SELF)
+_SELF = int(RouteClass.SELF)
+_CUSTOMER = int(RouteClass.CUSTOMER)
+_PEER = int(RouteClass.PEER)
+_PROVIDER = int(RouteClass.PROVIDER)
+_UNREACHABLE = int(RouteClass.UNREACHABLE)
+
+_HASH_MASK = ~((1 << POSITION_BITS) - 1)
+
+#: (victim, attacker) pairs per Jacobi batch — bounds [chunk, edges]
+_PAIR_CHUNK = 64
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +81,8 @@ class HijackOutcome:
     attacker: int
     routes_to_attacker: np.ndarray  # bool[n], False for the principals
     reachable: np.ndarray           # bool[n], has any route to the prefix
+    scenario: str = DEFAULT_SCENARIO
+    policy: str = DEFAULT_POLICY
 
     @property
     def num_fooled(self) -> int:
@@ -59,13 +96,44 @@ class HijackOutcome:
         return self.num_fooled / denominator
 
 
-@dataclasses.dataclass(frozen=True)
-class _Route:
-    route_class: RouteClass
-    length: int
-    to_attacker: bool
-    secure: bool          # fully-secure chain back to the (claimed) origin
-    next_hop: int
+def _attack_flags(
+    graph: ASGraph,
+    scenario,
+    policy,
+    node_secure: np.ndarray | None,
+    breaks_ties: np.ndarray | None,
+    attacker_convinces_own_stubs: bool | None,
+    drop_unvalidated: bool,
+) -> tuple:
+    """Shared state derivation for the scalar and batched simulators.
+
+    Returns ``(node_secure, applies, validators, is_stub, gullible,
+    drop)`` — ``applies`` already excludes the policy's sticky nodes
+    (a sticky node never exercises alternatives, so SecP has nothing
+    to pick from; the hash-minimum the kernels then take *is* its
+    fixed primary).
+    """
+    from repro.topology.relationships import ASRole
+
+    n = graph.n
+    if node_secure is None:
+        node_secure = np.zeros(n, dtype=bool)
+    if breaks_ties is None:
+        breaks_ties = np.zeros(n, dtype=bool)
+    node_secure = np.asarray(node_secure, dtype=bool)
+    applies = node_secure & np.asarray(breaks_ties, dtype=bool)
+    sticky = policy.sticky_mask(n)
+    if sticky is not None:
+        applies = applies & ~sticky
+    is_stub = graph.roles == int(ASRole.STUB)
+    validators = node_secure & ~is_stub
+    gullible = (
+        scenario.gullible_stubs
+        if attacker_convinces_own_stubs is None
+        else bool(attacker_convinces_own_stubs)
+    )
+    drop = bool(drop_unvalidated or scenario.validators_drop)
+    return node_secure, applies, validators, is_stub, gullible, drop
 
 
 def simulate_hijack(
@@ -74,143 +142,363 @@ def simulate_hijack(
     attacker: int,
     node_secure: np.ndarray | None = None,
     breaks_ties: np.ndarray | None = None,
-    attacker_convinces_own_stubs: bool = True,
+    attacker_convinces_own_stubs: bool | None = None,
     drop_unvalidated: bool = False,
-    max_sweeps: int = 10_000,
+    max_sweeps: int | None = None,
+    policy: str = DEFAULT_POLICY,
+    scenario: str = DEFAULT_SCENARIO,
 ) -> HijackOutcome:
     """Propagate victim + attacker originations and report the split.
 
     ``victim`` / ``attacker`` are dense node indices.  ``node_secure``
     and ``breaks_ties`` are the usual deployment-state flags; with both
-    None the world is today's insecure BGP.
+    None the world is today's insecure BGP.  ``policy`` and
+    ``scenario`` resolve through their registries (any name, alias or
+    object); the defaults reproduce the paper's origin hijack under
+    the Appendix-A ranking.
 
     The attacker's announcement is treated as insecure by every
     validating AS (it cannot be signed end-to-end), except — when
-    ``attacker_convinces_own_stubs`` — at the attacker's simplex stub
-    customers, who cannot validate and accept their provider's word
-    (§2.2.1).
+    ``attacker_convinces_own_stubs`` (default: the scenario's setting)
+    — at the attacker's simplex stub customers, who cannot validate
+    and accept their provider's word (§2.2.1).  A route leak is the
+    one exception where the signatures are genuine.
 
-    By default security acts only through the SecP *tie-break*, as in
-    the deployment model: a strictly shorter or better-class false
-    route still wins.  ``drop_unvalidated=True`` models the paper's
-    §2.2.1 end-state argument instead: fully-validating ASes (secure
-    non-stubs) *reject* routes that are not fully secure.  That is only
+    By default security acts only through the SecP criterion, as in
+    the deployment model: a strictly better false route still wins.
+    ``drop_unvalidated=True`` models the paper's §2.2.1 end-state
+    argument instead: fully-validating ASes (secure non-stubs)
+    *reject* routes that are not fully secure.  That is only
     deployable once everything legitimate is signed — under partial
     deployment it disconnects honest ASes, which is exactly the
-    BGP/S*BGP-coexistence hazard §1.4(5) warns about (the ``reachable``
-    mask exposes it).
+    BGP/S*BGP-coexistence hazard §1.4(5) warns about (the
+    ``reachable`` mask exposes it).
+
+    This is the scalar differential reference: the batched
+    :func:`simulate_attacks_batched` must match it bit for bit.
+    Raises :class:`~repro.routing.reference.ConvergenceError` when the
+    iteration has not stabilised after ``max_sweeps`` (default
+    ``n + 8``) — a real possibility under ``security_1st``.
     """
+    scen = get_scenario(scenario)
+    pol = get_policy(policy)
     n = graph.n
-    if node_secure is None:
-        node_secure = np.zeros(n, dtype=bool)
-    if breaks_ties is None:
-        breaks_ties = np.zeros(n, dtype=bool)
     if victim == attacker:
         raise ValueError("victim and attacker must differ")
+    node_secure, applies, validators, is_stub, gullible, drop = _attack_flags(
+        graph, scen, pol, node_secure, breaks_ties,
+        attacker_convinces_own_stubs, drop_unvalidated,
+    )
+    leak = scen.attacker_leaks
 
-    selected: dict[int, _Route] = {
-        victim: _Route(RouteClass.SELF, 0, False, bool(node_secure[victim]), victim),
-        attacker: _Route(RouteClass.SELF, 0, True, False, attacker),
-    }
-    from repro.topology.relationships import ASRole
-
-    roles = graph.roles
-    gullible_stubs: set[int] = set()
-    if attacker_convinces_own_stubs:
-        gullible_stubs = {
-            c for c in graph.customers[attacker]
-            if roles[c] == int(ASRole.STUB) and node_secure[c]
-        }
-    # validators = full (non-simplex) S*BGP deployments
-    validators = node_secure & (roles != int(ASRole.STUB))
-
-    def offer(i: int, nbr: int, kind: RouteClass) -> _Route | None:
-        route = selected.get(nbr)
-        if route is None:
-            return None
-        if kind is not RouteClass.PROVIDER and route.route_class not in _EXPORT_OK:
-            return None
-        if drop_unvalidated and validators[i] and not route.secure:
-            # end-state filtering: reject what cannot be validated,
-            # unless this is the gullible-stub vector (stubs are not
-            # validators, so only `i == attacker's stub` is exempt and
-            # that case never reaches here).
-            return None
-        return route
-
-    def rank(i: int, nbr: int, route: _Route) -> tuple:
-        secure_pref = 0
-        if node_secure[i] and breaks_ties[i]:
-            seen_secure = route.secure or (
-                route.to_attacker and nbr == attacker and i in gullible_stubs
+    # Per-node candidate table, sorted by neighbor index — the same
+    # order as the fixpoint edge table's u-segments (relations are
+    # disjoint, so sorting by (u, v) orders purely by v within a
+    # segment), giving identical position-disambiguated tie keys.
+    candidates: list[list[tuple[int, int, int, bool]]] = []
+    for i in range(n):
+        entries = sorted(
+            [(int(c), _CUSTOMER) for c in graph.customers[i]]
+            + [(int(p), _PEER) for p in graph.peers[i]]
+            + [(int(p), _PROVIDER) for p in graph.providers[i]]
+        )
+        row = []
+        for pos, (nbr, kind) in enumerate(entries):
+            tie = (tie_hash(i, nbr) & _HASH_MASK) | pos
+            gull_edge = (
+                gullible and kind == _PROVIDER
+                and bool(is_stub[i]) and bool(node_secure[i])
             )
-            secure_pref = 0 if seen_secure else 1
-        return (-int(_class_for(i, nbr)), route.length + 1, secure_pref,
-                tie_hash(i, nbr), nbr)
+            row.append((nbr, kind, tie, gull_edge))
+        candidates.append(row)
 
-    index_class: dict[tuple[int, int], RouteClass] = {}
+    cap = max_sweeps if max_sweeps is not None else n + 8
 
-    def _class_for(i: int, nbr: int) -> RouteClass:
-        key = (i, nbr)
-        cls = index_class.get(key)
-        if cls is None:
-            if nbr in graph.customers[i]:
-                cls = RouteClass.CUSTOMER
-            elif nbr in graph.peers[i]:
-                cls = RouteClass.PEER
-            else:
-                cls = RouteClass.PROVIDER
-            index_class[key] = cls
-        return cls
-
-    for _ in range(max_sweeps):
-        changed = False
-        for i in range(n):
-            if i == victim or i == attacker:
-                continue
-            best_key: tuple | None = None
-            best: _Route | None = None
-            for kind, neighbors in (
-                (RouteClass.CUSTOMER, graph.customers[i]),
-                (RouteClass.PEER, graph.peers[i]),
-                (RouteClass.PROVIDER, graph.providers[i]),
-            ):
-                for nbr in neighbors:
-                    route = offer(i, nbr, kind)
-                    if route is None:
+    def iterate(cls, length, sec, att, pin, leaking):
+        for _ in range(cap):
+            new_cls = np.full(n, _UNREACHABLE, dtype=np.int64)
+            new_len = np.full(n, -1, dtype=np.int64)
+            new_sec = np.zeros(n, dtype=bool)
+            new_att = np.zeros(n, dtype=bool)
+            for i in range(n):
+                best: tuple | None = None
+                chosen: tuple | None = None
+                drop_i = drop and validators[i]
+                for nbr, kind, tie, gull_edge in candidates[i]:
+                    cv = cls[nbr]
+                    if cv == _UNREACHABLE:
                         continue
-                    key = rank(i, nbr, route)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        secure = bool(
-                            node_secure[i]
-                            and (route.secure
-                                 or (route.to_attacker and nbr == attacker
-                                     and i in gullible_stubs))
-                        )
-                        best = _Route(kind, route.length + 1,
-                                      route.to_attacker, secure, nbr)
-            if best is None:
-                if i in selected:
-                    del selected[i]
-                    changed = True
-            elif selected.get(i) != best:
-                selected[i] = best
-                changed = True
-        if not changed:
-            break
-    else:  # pragma: no cover - policies converge
-        raise RuntimeError("hijack simulation did not converge")
+                    # GR2 (with the leak escape hatch): a route travels
+                    # up to a provider / across a peering only if it is
+                    # a customer route or the origin's own prefix.
+                    if not (kind == _PROVIDER or cv == _CUSTOMER
+                            or cv == _SELF
+                            or (leaking and nbr == attacker)):
+                        continue
+                    if drop_i and not sec[nbr]:
+                        continue
+                    seen = bool(sec[nbr]) or (gull_edge and nbr == attacker
+                                              and bool(att[nbr]))
+                    parts = []
+                    for crit in pol.ranking:
+                        if crit is Criterion.LP:
+                            parts.append(2 - kind)
+                        elif crit is Criterion.SP:
+                            parts.append(int(length[nbr]) + 1)
+                        else:
+                            parts.append(0 if (applies[i] and seen) else 1)
+                    key = (tuple(parts), tie)
+                    if best is None or key < best:
+                        best = key
+                        chosen = (nbr, kind, seen)
+                if chosen is not None:
+                    nbr, kind, seen = chosen
+                    new_cls[i] = kind
+                    new_len[i] = length[nbr] + 1
+                    new_sec[i] = bool(node_secure[i]) and seen
+                    new_att[i] = att[nbr]
+            pin(new_cls, new_len, new_sec, new_att)
+            if (
+                np.array_equal(new_cls, cls)
+                and np.array_equal(new_len, length)
+                and np.array_equal(new_sec, sec)
+                and np.array_equal(new_att, att)
+            ):
+                return cls, length, sec, att
+            cls, length, sec, att = new_cls, new_len, new_sec, new_att
+        raise ConvergenceError(
+            f"attack scenario {scen.name!r} under policy {pol.name!r} did "
+            f"not converge within {cap} sweeps (victim {victim}, "
+            f"attacker {attacker})"
+        )
 
-    to_attacker = np.zeros(n, dtype=bool)
-    reachable = np.zeros(n, dtype=bool)
-    for i, route in selected.items():
-        reachable[i] = True
-        if i not in (victim, attacker):
-            to_attacker[i] = route.to_attacker
+    def pin_victim(c, ln, s, a):
+        if scen.victim_originates:
+            c[victim] = _SELF
+            ln[victim] = 0
+            s[victim] = node_secure[victim]
+            a[victim] = False
+
+    cls = np.full(n, _UNREACHABLE, dtype=np.int64)
+    length = np.full(n, -1, dtype=np.int64)
+    sec = np.zeros(n, dtype=bool)
+    att = np.zeros(n, dtype=bool)
+
+    if leak and not scen.attacker_originates:
+        # A pure route leak re-announces the route the attacker holds
+        # in the *honest* equilibrium.  Letting the leaker's selection
+        # co-evolve with its own leak feeds its providers' adopted
+        # routes back into its choice (the model has no AS-path loop
+        # detection), which genuinely oscillates — so phase 1 converges
+        # the single-origin honest world, then phase 2 pins the
+        # attacker's label (signatures and all: path validation cannot
+        # reject a leak) and propagates the leak from that state.
+        pin_victim(cls, length, sec, att)
+        cls, length, sec, att = iterate(
+            cls, length, sec, att, pin_victim, leaking=False
+        )
+        a_cls, a_len, a_sec = cls[attacker], length[attacker], sec[attacker]
+
+        def pin(c, ln, s, a):
+            pin_victim(c, ln, s, a)
+            c[attacker] = a_cls
+            ln[attacker] = a_len
+            s[attacker] = a_sec
+            a[attacker] = True
+
+        att = att.copy()
+        att[attacker] = True
+        cls, length, sec, att = iterate(cls, length, sec, att, pin, leaking=True)
+    else:
+        def pin(c, ln, s, a):
+            pin_victim(c, ln, s, a)
+            if scen.attacker_originates:
+                c[attacker] = _SELF
+                ln[attacker] = scen.attacker_path_offset
+                s[attacker] = False
+            a[attacker] = True
+
+        pin(cls, length, sec, att)
+        cls, length, sec, att = iterate(cls, length, sec, att, pin, leaking=leak)
+
+    routes_to_attacker = att.copy()
+    routes_to_attacker[victim] = False
+    routes_to_attacker[attacker] = False
     return HijackOutcome(
         victim=victim,
         attacker=attacker,
-        routes_to_attacker=to_attacker,
-        reachable=reachable,
+        routes_to_attacker=routes_to_attacker,
+        reachable=cls != _UNREACHABLE,
+        scenario=scen.name,
+        policy=pol.name,
     )
+
+
+def simulate_attacks_batched(
+    graph: ASGraph,
+    pairs: Sequence[tuple[int, int]],
+    node_secure: np.ndarray | None = None,
+    breaks_ties: np.ndarray | None = None,
+    attacker_convinces_own_stubs: bool | None = None,
+    drop_unvalidated: bool = False,
+    max_sweeps: int | None = None,
+    policy: str = DEFAULT_POLICY,
+    scenario: str = DEFAULT_SCENARIO,
+    compiled: CompiledGraph | None = None,
+    backend: str | None = None,
+) -> list[HijackOutcome]:
+    """Batched :func:`simulate_hijack` over (victim, attacker) pairs.
+
+    The multi-origin Jacobi iteration vectorised on the fixpoint edge
+    table, in chunks of pairs, dispatched through the kernel-backend
+    registry (``backend`` as in
+    :func:`repro.routing.fixpoint.fixpoint_dest_routings`).  One
+    deployment state, one scenario, one policy, many pairs — the inner
+    loop of every attack-matrix cell.  Bit-identical to the scalar
+    reference, outcome for outcome.
+    """
+    from repro.routing.fixpoint import _EdgeTable, _rank_metadata
+
+    scen = get_scenario(scenario)
+    pol = get_policy(policy)
+    pair_arr = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    if len(pair_arr) and (
+        pair_arr.min() < 0 or pair_arr.max() >= graph.n
+    ):
+        raise ValueError("pair indices out of range")
+    if (pair_arr[:, 0] == pair_arr[:, 1]).any():
+        raise ValueError("victim and attacker must differ")
+
+    cg = compiled or CompiledGraph.from_graph(graph)
+    table = _EdgeTable(cg)
+    n = cg.n
+    backend_name, kernels = kernel_backends.kernels_for(
+        kernel_backends.resolve_backend(backend)
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("security.attack.batches").inc()
+        registry.counter("security.attack.pairs").inc(len(pair_arr))
+        registry.counter(f"routing.backend.calls.{backend_name}").inc()
+    rank_codes, rank_widths = _rank_metadata(pol.ranking)
+    node_secure, applies, validators, is_stub, gullible, drop = _attack_flags(
+        graph, scen, pol, node_secure, breaks_ties,
+        attacker_convinces_own_stubs, drop_unvalidated,
+    )
+    applies_edge = applies[table.u] if table.num_edges else applies[:0]
+    if gullible and table.num_edges:
+        gullible_edge = (
+            table.is_provider_edge & is_stub[table.u] & node_secure[table.u]
+        )
+    else:
+        gullible_edge = np.zeros(table.num_edges, dtype=bool)
+    cap = max_sweeps if max_sweeps is not None else n + 8
+
+    outcomes: list[HijackOutcome] = []
+    tracer = get_tracer()
+    leak_replay = scen.attacker_leaks and not scen.attacker_originates
+    for start in range(0, len(pair_arr), _PAIR_CHUNK):
+        batch = pair_arr[start:start + _PAIR_CHUNK]
+        victims = batch[:, 0]
+        attackers = np.ascontiguousarray(batch[:, 1])
+        chunk = len(batch)
+        rows = np.arange(chunk)
+
+        def iterate(cls, length, sec, att, pin, leaking):
+            for _ in range(cap):
+                new_cls = np.full((chunk, n), _UNREACHABLE, dtype=np.int8)
+                new_len = np.full((chunk, n), -1, dtype=np.int32)
+                new_sec = np.zeros((chunk, n), dtype=bool)
+                new_att = np.zeros((chunk, n), dtype=bool)
+                if table.num_edges:
+                    kernels.attack_sweep(
+                        table.u, table.v, table.route_cls,
+                        table.seg_starts, table.seg_sizes, table.seg_u,
+                        table.tie_key, table.lp_field,
+                        table.is_provider_edge, rank_codes, rank_widths,
+                        attackers, gullible_edge, validators,
+                        leaking, drop,
+                        cls, length, sec, att, applies_edge, node_secure,
+                        new_cls, new_len, new_sec, new_att,
+                    )
+                pin(new_cls, new_len, new_sec, new_att)
+                if (
+                    np.array_equal(new_cls, cls)
+                    and np.array_equal(new_len, length)
+                    and np.array_equal(new_sec, sec)
+                    and np.array_equal(new_att, att)
+                ):
+                    return cls, length, sec, att
+                cls, length, sec, att = new_cls, new_len, new_sec, new_att
+            raise ConvergenceError(
+                f"attack scenario {scen.name!r} under policy "
+                f"{pol.name!r} did not converge within {cap} sweeps "
+                f"(pairs {batch[:4].tolist()}...)"
+            )
+
+        def pin_victim(c, ln, s, a):
+            if scen.victim_originates:
+                c[rows, victims] = _SELF
+                ln[rows, victims] = 0
+                s[rows, victims] = node_secure[victims]
+                a[rows, victims] = False
+
+        cls = np.full((chunk, n), _UNREACHABLE, dtype=np.int8)
+        length = np.full((chunk, n), -1, dtype=np.int32)
+        sec = np.zeros((chunk, n), dtype=bool)
+        att = np.zeros((chunk, n), dtype=bool)
+
+        with tracer.span("attack.batch", pairs=chunk):
+            if leak_replay:
+                # phase 1: the honest single-origin world, to freeze
+                # the leaker's route (see simulate_hijack); phase 2
+                # pins that label and propagates the leak from it.
+                pin_victim(cls, length, sec, att)
+                cls, length, sec, att = iterate(
+                    cls, length, sec, att, pin_victim, leaking=False
+                )
+                a_cls = cls[rows, attackers].copy()
+                a_len = length[rows, attackers].copy()
+                a_sec = sec[rows, attackers].copy()
+
+                def pin(c, ln, s, a):
+                    pin_victim(c, ln, s, a)
+                    c[rows, attackers] = a_cls
+                    ln[rows, attackers] = a_len
+                    s[rows, attackers] = a_sec
+                    a[rows, attackers] = True
+
+                att = att.copy()
+                att[rows, attackers] = True
+                cls, length, sec, att = iterate(
+                    cls, length, sec, att, pin, leaking=True
+                )
+            else:
+                def pin(c, ln, s, a):
+                    pin_victim(c, ln, s, a)
+                    if scen.attacker_originates:
+                        c[rows, attackers] = _SELF
+                        ln[rows, attackers] = scen.attacker_path_offset
+                        s[rows, attackers] = False
+                    a[rows, attackers] = True
+
+                pin(cls, length, sec, att)
+                cls, length, sec, att = iterate(
+                    cls, length, sec, att, pin, leaking=scen.attacker_leaks
+                )
+
+        for k in range(chunk):
+            routes_to_attacker = att[k].copy()
+            routes_to_attacker[victims[k]] = False
+            routes_to_attacker[attackers[k]] = False
+            outcomes.append(
+                HijackOutcome(
+                    victim=int(victims[k]),
+                    attacker=int(attackers[k]),
+                    routes_to_attacker=routes_to_attacker,
+                    reachable=cls[k] != _UNREACHABLE,
+                    scenario=scen.name,
+                    policy=pol.name,
+                )
+            )
+    return outcomes

@@ -8,18 +8,26 @@ Backs the §2.2.1 comparison:
   only remaining vector is an ISP lying to its own simplex stubs, so a
   random attacker's average impact collapses to (roughly) its own stub
   cone — 80% of ISPs have < 7 stub customers.
+
+Sampling is split from simulation so the attack matrix can evaluate
+one seeded pair sample across every (scenario, policy, strategy,
+level) cell: :func:`sample_pairs` draws the pairs,
+:func:`simulate_attacks_batched` runs them on the kernel fast path,
+and :func:`impact_from_outcomes` folds the results.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.state import DeploymentState, StateDeriver
-from repro.security.hijack import simulate_hijack
+from repro.routing.policy import DEFAULT_POLICY
+from repro.security.hijack import HijackOutcome, simulate_attacks_batched
+from repro.security.scenarios import DEFAULT_SCENARIO
 from repro.topology.graph import ASGraph
 
 
@@ -33,6 +41,53 @@ class AttackImpact:
     per_pair: tuple[tuple[int, int, float], ...]  # (attacker, victim, fraction)
 
 
+def sample_pairs(
+    graph: ASGraph,
+    samples: int = 20,
+    seed: int = 0,
+    attacker_pool: Iterable[int] | None = None,
+    victim_pool: Iterable[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Seeded (victim, attacker) pairs, attacker != victim.
+
+    The draw order (attacker first, then victim, rejecting collisions)
+    is pinned: the attack matrix relies on one seed producing the same
+    pair sample in every cell, so per-cell differences are pure policy
+    / scenario / deployment effects.
+    """
+    rng = random.Random(seed)
+    attackers = (
+        list(attacker_pool) if attacker_pool is not None else list(range(graph.n))
+    )
+    victims = (
+        list(victim_pool) if victim_pool is not None else list(range(graph.n))
+    )
+    pairs: list[tuple[int, int]] = []
+    guard = 0
+    while len(pairs) < samples and guard < 50 * samples:
+        guard += 1
+        attacker = rng.choice(attackers)
+        victim = rng.choice(victims)
+        if attacker == victim:
+            continue
+        pairs.append((victim, attacker))
+    return pairs
+
+
+def impact_from_outcomes(outcomes: Sequence[HijackOutcome]) -> AttackImpact:
+    """Fold per-pair outcomes into the summary statistics."""
+    results = [
+        (o.attacker, o.victim, o.fraction_fooled()) for o in outcomes
+    ]
+    fractions = [f for _, _, f in results]
+    return AttackImpact(
+        samples=len(results),
+        mean_fraction_fooled=float(np.mean(fractions)) if fractions else 0.0,
+        max_fraction_fooled=float(np.max(fractions)) if fractions else 0.0,
+        per_pair=tuple(results),
+    )
+
+
 def sample_attack_impact(
     graph: ASGraph,
     node_secure: np.ndarray,
@@ -41,36 +96,29 @@ def sample_attack_impact(
     seed: int = 0,
     attacker_pool: Iterable[int] | None = None,
     victim_pool: Iterable[int] | None = None,
-    attacker_convinces_own_stubs: bool = True,
+    attacker_convinces_own_stubs: bool | None = None,
     drop_unvalidated: bool = False,
+    scenario: str = DEFAULT_SCENARIO,
+    policy: str = DEFAULT_POLICY,
+    backend: str | None = None,
 ) -> AttackImpact:
-    """Mean fraction of ASes fooled across random attacker/victim pairs."""
-    rng = random.Random(seed)
-    attackers = list(attacker_pool) if attacker_pool is not None else list(range(graph.n))
-    victims = list(victim_pool) if victim_pool is not None else list(range(graph.n))
+    """Mean fraction of ASes fooled across random attacker/victim pairs.
 
-    results: list[tuple[int, int, float]] = []
-    guard = 0
-    while len(results) < samples and guard < 50 * samples:
-        guard += 1
-        attacker = rng.choice(attackers)
-        victim = rng.choice(victims)
-        if attacker == victim:
-            continue
-        outcome = simulate_hijack(
-            graph, victim, attacker, node_secure, breaks_ties,
-            attacker_convinces_own_stubs=attacker_convinces_own_stubs,
-            drop_unvalidated=drop_unvalidated,
-        )
-        results.append((attacker, victim, outcome.fraction_fooled()))
-
-    fractions = [f for _, _, f in results]
-    return AttackImpact(
-        samples=len(results),
-        mean_fraction_fooled=float(np.mean(fractions)) if fractions else 0.0,
-        max_fraction_fooled=float(np.max(fractions)) if fractions else 0.0,
-        per_pair=tuple(results),
+    Runs on the batched multi-origin kernel (`simulate_attacks_batched`)
+    — the scalar reference in :mod:`repro.security.hijack` exists for
+    the differential suite, not for sampling at scale.
+    """
+    pairs = sample_pairs(
+        graph, samples=samples, seed=seed,
+        attacker_pool=attacker_pool, victim_pool=victim_pool,
     )
+    outcomes = simulate_attacks_batched(
+        graph, pairs, node_secure, breaks_ties,
+        attacker_convinces_own_stubs=attacker_convinces_own_stubs,
+        drop_unvalidated=drop_unvalidated,
+        scenario=scenario, policy=policy, backend=backend,
+    )
+    return impact_from_outcomes(outcomes)
 
 
 def impact_for_state(

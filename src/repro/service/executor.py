@@ -31,6 +31,11 @@ import threading
 import time
 from typing import Any
 
+from repro.experiments.attack_matrix import (
+    AttackMatrixCell,
+    run_attack_matrix,
+)
+from repro.experiments.attack_matrix import cell_to_dict as matrix_cell_to_dict
 from repro.experiments.case_study import run_case_study
 from repro.experiments.setup import ExperimentEnv, build_environment
 from repro.experiments.sweeps import SweepCell, cell_to_dict, run_sweep
@@ -128,6 +133,8 @@ def execute_job(
         env = _build_env(job.spec, cache)
         if job.spec.kind == "sweep":
             result = _execute_sweep(job, env, store, cache, cancel)
+        elif job.spec.kind == "attack-matrix":
+            result = _execute_attack_matrix(job, env, store, cancel)
         else:
             result = _execute_case_study(job, env)
     registry.counter("service.executor.jobs").inc()
@@ -171,6 +178,66 @@ def _execute_sweep(
         "kind": "sweep",
         "cells": [cell_to_dict(c) for c in cells],
         "grid": {"thetas": list(spec.thetas), "adopter_sets": sorted(adopter_sets)},
+        "backend": env.cache.backend_name,
+    }
+
+
+def _execute_attack_matrix(
+    job: Job,
+    env: ExperimentEnv,
+    store: JobStore,
+    cancel: threading.Event,
+) -> dict[str, Any]:
+    """Run the scenario × policy × strategy grid as a service job.
+
+    The matrix journal is digest-keyed like sweep journals, so a
+    resubmission (or a daemon restart mid-job) resumes the finished
+    cells; cancellation is cooperative at cell boundaries exactly as
+    for sweeps.
+    """
+    spec = job.spec
+    scenarios = list(spec.scenarios) or None
+    strategies = list(spec.strategies) or None
+    policies = list(spec.policies) or None
+    from repro.routing.policy import available_policies
+    from repro.security.scenarios import available_scenarios, available_strategies
+
+    total = (
+        len(scenarios or available_scenarios())
+        * len(policies or available_policies())
+        * len(strategies or available_strategies())
+        * len(spec.levels)
+    )
+    done = {"count": 0}
+
+    def on_cell(cell: AttackMatrixCell, source: str) -> None:
+        done["count"] += 1
+        store.record_progress(job.id, done["count"], total, source)
+        if cancel.is_set():
+            raise JobCancelled(job.id)
+
+    cells = run_attack_matrix(
+        env,
+        scenarios=scenarios,
+        policies=policies,
+        strategies=strategies,
+        levels=spec.levels,
+        samples=spec.attack_samples,
+        seed=spec.attack_seed,
+        stub_breaks_ties=spec.stub_breaks_ties,
+        journal=store.sweep_journal_path(job),
+        on_cell=on_cell,
+        backend=spec.kernel_backend,
+    )
+    return {
+        "kind": "attack-matrix",
+        "cells": [matrix_cell_to_dict(c) for c in cells],
+        "grid": {
+            "scenarios": sorted({c.scenario for c in cells}),
+            "policies": sorted({c.policy for c in cells}),
+            "strategies": sorted({c.strategy for c in cells}),
+            "levels": list(spec.levels),
+        },
         "backend": env.cache.backend_name,
     }
 

@@ -1,10 +1,12 @@
 """Job specifications: the JSON contract of ``POST /v1/jobs``.
 
 A spec is a plain dict the daemon validates into a :class:`JobSpec`.
-Two kinds exist today — ``sweep`` (the theta x adopter-set grid of
-Figures 8/9) and ``case-study`` (the Section-5 run).  Everything that
-affects the result is part of the spec; everything else (priority,
-deadline) is scheduling metadata and excluded from the digests.
+Three kinds exist today — ``sweep`` (the theta x adopter-set grid of
+Figures 8/9), ``case-study`` (the Section-5 run), and
+``attack-matrix`` (the scenario × policy × deployment-strategy grid of
+:mod:`repro.experiments.attack_matrix`).  Everything that affects the
+result is part of the spec; everything else (priority, deadline) is
+scheduling metadata and excluded from the digests.
 
 Digests are the service's identity scheme:
 
@@ -29,11 +31,12 @@ import json
 from typing import Any, Mapping
 
 from repro.routing import backends as kernel_backends
-from repro.routing.policy import get_policy
+from repro.routing.policy import available_policies, get_policy
+from repro.security import scenarios as scenario_registry
 from repro.service.errors import SpecError
 
 #: spec kinds the executor knows how to run
-JOB_KINDS = ("sweep", "case-study")
+JOB_KINDS = ("sweep", "case-study", "attack-matrix")
 
 #: hard cap on submitted grid size (cells = thetas x adopter sets);
 #: the daemon is a shared resource and a fat-fingered grid should be
@@ -59,6 +62,12 @@ class JobSpec:
     adopter_sets: tuple[str, ...]    # sweep only ((), i.e. all, by default)
     stub_breaks_ties: bool
     max_rounds: int
+    scenarios: tuple[str, ...]       # attack-matrix only (() = all registered)
+    strategies: tuple[str, ...]      # attack-matrix only (() = all registered)
+    policies: tuple[str, ...]        # attack-matrix only (() = all registered)
+    levels: tuple[float, ...]        # attack-matrix deployment-level ladder
+    attack_samples: int              # attack-matrix (victim, attacker) pairs
+    attack_seed: int                 # attack-matrix pair-sample seed
     priority: int
     deadline: float | None           # per-job wall-clock budget (seconds)
     memory_budget: int | None        # per-job budget (bytes)
@@ -76,6 +85,29 @@ def _coerce_number(payload: Mapping[str, Any], key: str, kind: type, default):
         return kind(value)
     except (TypeError, ValueError) as exc:
         raise SpecError(f"spec field {key!r} must be a {kind.__name__}: {value!r}") from exc
+
+
+def _canonical_names(
+    payload: Mapping[str, Any], key: str, resolve
+) -> tuple[str, ...]:
+    """A tuple of registry names, aliases canonicalised via ``resolve``.
+
+    Canonicalising at submit time keeps the digests — and hence
+    coalescing and journal reuse — blind to spelling (``"hijack"`` and
+    ``"origin_hijack"`` are the same work).  Unknown names raise
+    :class:`~repro.service.errors.SpecError` here, not hours later.
+    """
+    raw = payload.get(key, ())
+    _require(
+        isinstance(raw, (list, tuple)) and all(isinstance(s, str) for s in raw),
+        f"{key} must be an array of names",
+    )
+    try:
+        names = tuple(resolve(name) for name in raw)
+    except ValueError as exc:
+        raise SpecError(f"{key}: {exc}") from exc
+    _require(len(set(names)) == len(names), f"{key} must not repeat")
+    return names
 
 
 def parse_spec(payload: object) -> JobSpec:
@@ -138,11 +170,53 @@ def parse_spec(payload: object) -> JobSpec:
         "adopter_sets must not repeat",
     )
 
+    scenarios = _canonical_names(
+        payload, "scenarios", lambda name: scenario_registry.get_scenario(name).name
+    )
+    strategies = _canonical_names(
+        payload, "strategies", lambda name: scenario_registry.get_strategy(name).name
+    )
+    policies = _canonical_names(
+        payload, "policies", lambda name: get_policy(name).name
+    )
+
+    raw_levels = payload.get("levels", (0.0, 0.5, 1.0))
+    _require(
+        isinstance(raw_levels, (list, tuple)) and len(raw_levels) > 0,
+        "levels must be a non-empty array of numbers",
+    )
+    try:
+        levels = tuple(float(f) for f in raw_levels)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"levels must all be numbers: {raw_levels!r}") from exc
+    _require(
+        all(0.0 <= f <= 1.0 for f in levels), "levels must all be in [0, 1]"
+    )
+    _require(len(set(levels)) == len(levels), "levels must not repeat")
+
+    attack_samples = _coerce_number(payload, "attack_samples", int, 12)
+    _require(
+        1 <= attack_samples <= 10_000,
+        f"attack_samples must be in [1, 10000], got {attack_samples}",
+    )
+    attack_seed = _coerce_number(payload, "attack_seed", int, 0)
+
     if kind == "sweep":
         cells = len(thetas) * max(len(adopter_sets), 7)  # 7 = the full menu
         _require(
             cells <= MAX_CELLS,
             f"grid of {cells} cells exceeds the {MAX_CELLS}-cell limit",
+        )
+    if kind == "attack-matrix":
+        cells = (
+            (len(scenarios) or len(scenario_registry.available_scenarios()))
+            * (len(strategies) or len(scenario_registry.available_strategies()))
+            * (len(policies) or len(available_policies()))
+            * len(levels)
+        )
+        _require(
+            cells <= MAX_CELLS,
+            f"matrix of {cells} cells exceeds the {MAX_CELLS}-cell limit",
         )
 
     max_rounds = _coerce_number(payload, "max_rounds", int, 100)
@@ -177,6 +251,8 @@ def parse_spec(payload: object) -> JobSpec:
         kind=kind, n=n, seed=seed, x=x, policy=policy, augmented=augmented,
         theta=theta, thetas=thetas, adopter_sets=adopter_sets,
         stub_breaks_ties=stub_breaks_ties, max_rounds=max_rounds,
+        scenarios=scenarios, strategies=strategies, policies=policies,
+        levels=levels, attack_samples=attack_samples, attack_seed=attack_seed,
         priority=priority, deadline=deadline, memory_budget=memory_budget,
         kernel_backend=kernel_backend,
     )
@@ -187,6 +263,10 @@ def spec_to_dict(spec: JobSpec) -> dict[str, Any]:
     payload = dataclasses.asdict(spec)
     payload["thetas"] = list(spec.thetas)
     payload["adopter_sets"] = list(spec.adopter_sets)
+    payload["scenarios"] = list(spec.scenarios)
+    payload["strategies"] = list(spec.strategies)
+    payload["policies"] = list(spec.policies)
+    payload["levels"] = list(spec.levels)
     return payload
 
 

@@ -1,0 +1,45 @@
+"""Golden fixture for RPR014 (scenario-registry bypass): positive + waived + clean."""
+
+import repro.security.scenarios as scenario_mod
+from repro.security.scenarios import (
+    AttackScenario,
+    available_scenarios,
+    get_scenario,
+    get_strategy,
+)
+
+
+def bad_construct() -> object:
+    return AttackScenario(name="custom", description="ad hoc")  # expect: RPR014
+
+
+def bad_qualified_construct() -> object:
+    return scenario_mod.AttackScenario(name="custom", description="x")  # expect: RPR014
+
+
+def bad_registry_peek() -> dict:
+    return scenario_mod._SCENARIOS  # expect: RPR014
+
+
+def bad_alias_peek() -> dict:
+    return scenario_mod._SCENARIO_ALIASES  # expect: RPR014
+
+
+def bad_strategy_peek() -> dict:
+    return scenario_mod._STRATEGIES  # expect: RPR014
+
+
+def waived_construct() -> object:
+    return AttackScenario(name="x", description="y")  # repro-lint: disable=RPR014 -- fixture waiver
+
+
+def clean_lookup() -> object:
+    return get_scenario("origin_hijack")
+
+
+def clean_strategy_lookup() -> object:
+    return get_strategy("top_isp_first")
+
+
+def clean_enumerate() -> list:
+    return available_scenarios()

@@ -45,7 +45,7 @@ def test_fixture_suite_is_complete():
     covered = {f.name[:6].upper() for f in FIXTURES}
     expected = (
         {f"RPR00{i}" for i in range(1, 10)}
-        | {"RPR010", "RPR011", "RPR012", "RPR013"}
+        | {"RPR010", "RPR011", "RPR012", "RPR013", "RPR014"}
     )
     assert covered >= expected
 

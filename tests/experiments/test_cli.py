@@ -139,3 +139,68 @@ class TestSweepResume:
                 "sweep", "--n", "60", "--policy", "security_1st",
                 "--journal", str(journal), "--resume",
             ])
+
+
+class TestAttackImpact:
+    def test_matrix_table_prints(self, capsys):
+        assert main([
+            "attack-impact", "--n", "60", "--samples", "2",
+            "--scenario", "hijack", "--strategy", "top_isp_first",
+            "--levels", "0,1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Attack impact vs deployment level" in out
+        assert "origin_hijack" in out  # alias resolved to canonical name
+
+    def test_defaults_span_all_scenarios_and_strategies(self, capsys):
+        assert main([
+            "attack-impact", "--n", "60", "--samples", "2", "--levels", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ("origin_hijack", "subprefix_hijack", "route_leak",
+                     "forged_origin", "stub_first", "market_rounds"):
+            assert name in out
+
+    def test_unknown_scenario_is_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown attack scenario"):
+            main(["attack-impact", "--n", "60", "--scenario", "nope"])
+
+    def test_journal_resume_replays(self, capsys, tmp_path):
+        journal = tmp_path / "matrix.jsonl"
+        args = [
+            "attack-impact", "--n", "60", "--samples", "2",
+            "--scenario", "origin_hijack", "--strategy", "top_isp_first",
+            "--levels", "0,1", "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        snapshot = journal.read_text()
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+        assert journal.read_text() == snapshot
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        journal = tmp_path / "matrix.jsonl"
+        args = [
+            "attack-impact", "--n", "60", "--samples", "2",
+            "--scenario", "origin_hijack", "--strategy", "top_isp_first",
+            "--levels", "0", "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        with pytest.raises(SystemExit, match="--resume"):
+            main(args)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--journal"):
+            main(["attack-impact", "--n", "60", "--resume"])
+
+    def test_scenario_mismatch_is_one_line_error(self, tmp_path):
+        journal = tmp_path / "matrix.jsonl"
+        base = [
+            "attack-impact", "--n", "60", "--samples", "2",
+            "--strategy", "top_isp_first", "--levels", "0",
+            "--journal", str(journal),
+        ]
+        assert main(base + ["--scenario", "origin_hijack"]) == 0
+        with pytest.raises(SystemExit, match="origin_hijack.*route_leak"):
+            main(base + ["--scenario", "route_leak", "--resume"])

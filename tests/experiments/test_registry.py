@@ -13,9 +13,9 @@ from repro.experiments.registry import (
 
 class TestRegistry:
     def test_expected_ids(self):
-        assert {"table1", "fig3", "fig8", "fig10", "sec73", "table2"} <= set(
-            EXPERIMENTS
-        )
+        assert {
+            "table1", "fig3", "fig8", "fig10", "sec73", "attack-matrix", "table2",
+        } <= set(EXPERIMENTS)
 
     def test_list_sorted(self):
         ids = [e.id for e in list_experiments()]

@@ -1,0 +1,73 @@
+"""Tests for the sweep's attack axis (per-cell resilience metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweeps import cell_from_dict, cell_to_dict, run_sweep
+from repro.runtime.journal import RunJournal
+
+
+@pytest.fixture(scope="module")
+def attack_cells(medium_env):
+    return run_sweep(
+        medium_env,
+        thetas=(0.05,),
+        adopter_sets={"top-5": medium_env.adopter_sets()["top-5"]},
+        attack_scenarios=("hijack", "leak"),  # aliases, canonicalised
+        attack_samples=4,
+    )
+
+
+class TestAttackAxis:
+    def test_per_cell_impacts_present_and_canonical(self, attack_cells):
+        (cell,) = attack_cells
+        assert [s for s, _, _ in cell.attack] == ["origin_hijack", "route_leak"]
+        for _, mean, peak in cell.attack:
+            assert 0.0 <= mean <= peak <= 1.0
+
+    def test_axis_off_by_default(self, medium_env):
+        cells = run_sweep(
+            medium_env, thetas=(0.05,),
+            adopter_sets={"none": []},
+        )
+        assert all(c.attack == () for c in cells)
+
+    def test_cells_round_trip(self, attack_cells):
+        for cell in attack_cells:
+            assert cell_from_dict(cell_to_dict(cell)) == cell
+
+    def test_legacy_payloads_without_attack_load(self, attack_cells):
+        payload = cell_to_dict(attack_cells[0])
+        del payload["attack"]
+        assert cell_from_dict(payload).attack == ()
+
+
+class TestAttackJournalMeta:
+    def test_meta_carries_attack_axis_only_when_on(self, medium_env, tmp_path):
+        sets = {"none": []}
+        plain = RunJournal(tmp_path / "plain.jsonl")
+        run_sweep(medium_env, thetas=(0.05,), adopter_sets=sets, journal=plain)
+        meta = plain.header()["meta"]
+        assert "attack_scenarios" not in meta  # legacy journals still resume
+
+        attacked = RunJournal(tmp_path / "attacked.jsonl")
+        run_sweep(
+            medium_env, thetas=(0.05,), adopter_sets=sets,
+            attack_scenarios=("hijack",), attack_samples=3, journal=attacked,
+        )
+        meta = attacked.header()["meta"]
+        assert meta["attack_scenarios"] == ["origin_hijack"]
+        assert meta["attack_samples"] == 3
+
+    def test_resume_replays_attack_cells(self, medium_env, tmp_path):
+        sets = {"none": []}
+        journal = RunJournal(tmp_path / "resume.jsonl")
+        kwargs = dict(
+            thetas=(0.05,), adopter_sets=sets,
+            attack_scenarios=("origin_hijack",), attack_samples=3,
+        )
+        first = run_sweep(medium_env, journal=journal, **kwargs)
+        second = run_sweep(medium_env, journal=journal, **kwargs)
+        assert second == first
+        assert second[0].attack

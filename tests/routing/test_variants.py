@@ -8,7 +8,7 @@ import pytest
 from repro.routing.cache import RoutingCache
 from repro.routing.fast_tree import compute_tree, subtree_weights
 from repro.routing.policy import RouteClass, available_policies, get_policy
-from repro.routing.variants import compute_dest_routing_sp_first, restrict_to_primary
+from repro.routing.policy import compute_dest_routing_sp_first, restrict_to_primary
 from repro.topology.graph import ASGraph
 
 

@@ -1,0 +1,195 @@
+"""Differential pin: batched multi-origin kernel vs the scalar reference.
+
+Every (scenario, policy) combination must produce bit-identical
+outcomes from :func:`simulate_attacks_batched` and the per-pair scalar
+:func:`simulate_hijack`, on a seeded synthetic topology and on the
+adversarial gadget graphs (the CHICKEN oscillator of App. F and the
+Chiesa-style SET-COVER reduction of App. E).  Non-convergence must be
+symmetric too: if any scalar pair oscillates, the batch raises.
+
+A hypothesis pass then sweeps random GR1 graphs × random deployment
+masks for the same agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gadgets.hardness import SetCoverInstance, build_set_cover_network
+from repro.gadgets.oscillator import build_chicken
+from repro.routing import backends as kernel_backends
+from repro.routing.policy import available_policies
+from repro.routing.reference import ConvergenceError
+from repro.security.hijack import simulate_attacks_batched, simulate_hijack
+from repro.security.metrics import sample_pairs
+from repro.security.scenarios import available_scenarios
+from repro.topology.generator import generate_topology
+
+from tests.strategies import graphs_with_security
+
+SCENARIOS = available_scenarios()
+POLICIES = available_policies()
+
+
+def _mask(n: int, fraction: float, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random(n) < fraction
+
+
+def _scalar_outcomes(graph, pairs, node_secure, breaks, scenario, policy):
+    out = []
+    for victim, attacker in pairs:
+        try:
+            out.append(simulate_hijack(
+                graph, victim, attacker, node_secure, breaks,
+                scenario=scenario, policy=policy,
+            ))
+        except ConvergenceError:
+            out.append(None)
+    return out
+
+
+def _assert_bit_identical(
+    graph, pairs, node_secure, breaks, scenario, policy, backend=None
+):
+    reference = _scalar_outcomes(
+        graph, pairs, node_secure, breaks, scenario, policy
+    )
+    if any(o is None for o in reference):
+        with pytest.raises(ConvergenceError):
+            simulate_attacks_batched(
+                graph, pairs, node_secure, breaks,
+                scenario=scenario, policy=policy, backend=backend,
+            )
+        return
+    batched = simulate_attacks_batched(
+        graph, pairs, node_secure, breaks,
+        scenario=scenario, policy=policy, backend=backend,
+    )
+    assert len(batched) == len(reference)
+    for ref, got in zip(reference, batched):
+        context = (scenario, policy, ref.victim, ref.attacker)
+        assert (got.victim, got.attacker) == (ref.victim, ref.attacker)
+        assert np.array_equal(
+            got.routes_to_attacker, ref.routes_to_attacker
+        ), context
+        assert np.array_equal(got.reachable, ref.reachable), context
+        assert got.scenario == ref.scenario
+        assert got.policy == ref.policy
+
+
+@pytest.fixture(scope="module")
+def seeded_graph():
+    return generate_topology(n=60, seed=11).graph
+
+
+@pytest.fixture(scope="module")
+def chicken_graph():
+    return build_chicken().graph
+
+
+@pytest.fixture(scope="module")
+def set_cover_graph():
+    instance = SetCoverInstance(
+        universe=(1, 2, 3, 4),
+        subsets=(frozenset({1, 2}), frozenset({3, 4}), frozenset({2, 3})),
+        k=2,
+    )
+    return build_set_cover_network(instance).graph
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+class TestScalarBatchedParity:
+    def test_seeded_graph(self, seeded_graph, scenario, policy):
+        pairs = sample_pairs(seeded_graph, samples=3, seed=7)
+        secure = _mask(seeded_graph.n, 0.4, seed=21)
+        _assert_bit_identical(
+            seeded_graph, pairs, secure, secure.copy(), scenario, policy
+        )
+
+    def test_oscillator_gadget(self, chicken_graph, scenario, policy):
+        n = chicken_graph.n
+        pairs = [(0, n - 1), (n // 2, 1)]
+        secure = _mask(n, 0.5, seed=5)
+        _assert_bit_identical(
+            chicken_graph, pairs, secure, secure.copy(), scenario, policy
+        )
+
+    def test_set_cover_gadget(self, set_cover_graph, scenario, policy):
+        n = set_cover_graph.n
+        pairs = [(0, n - 1), (n - 2, 2)]
+        secure = _mask(n, 0.5, seed=9)
+        _assert_bit_identical(
+            set_cover_graph, pairs, secure, secure.copy(), scenario, policy
+        )
+
+
+class TestBackendParity:
+    """Every loadable kernel backend agrees with the scalar reference."""
+
+    @pytest.mark.parametrize("backend", kernel_backends.usable_backends())
+    def test_backends_match_reference(self, seeded_graph, backend):
+        pairs = sample_pairs(seeded_graph, samples=4, seed=3)
+        secure = _mask(seeded_graph.n, 0.5, seed=13)
+        for scenario in ("origin_hijack", "route_leak"):
+            _assert_bit_identical(
+                seeded_graph, pairs, secure, secure.copy(),
+                scenario, "security_3rd", backend=backend,
+            )
+
+
+class TestBatchedValidation:
+    def test_same_node_rejected(self, seeded_graph):
+        with pytest.raises(ValueError, match="must differ"):
+            simulate_attacks_batched(seeded_graph, [(4, 4)])
+
+    def test_out_of_range_rejected(self, seeded_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_attacks_batched(seeded_graph, [(0, seeded_graph.n)])
+
+    def test_empty_batch(self, seeded_graph):
+        assert simulate_attacks_batched(seeded_graph, []) == []
+
+    def test_chunking_is_invisible(self, seeded_graph):
+        """Results do not depend on where the pair-chunk boundary falls."""
+        from repro.security import hijack as hijack_mod
+
+        pairs = sample_pairs(seeded_graph, samples=6, seed=2)
+        secure = _mask(seeded_graph.n, 0.4, seed=2)
+        whole = simulate_attacks_batched(seeded_graph, pairs, secure, secure)
+        original = hijack_mod._PAIR_CHUNK
+        hijack_mod._PAIR_CHUNK = 2
+        try:
+            chunked = simulate_attacks_batched(
+                seeded_graph, pairs, secure, secure
+            )
+        finally:
+            hijack_mod._PAIR_CHUNK = original
+        for a, b in zip(whole, chunked):
+            assert np.array_equal(a.routes_to_attacker, b.routes_to_attacker)
+            assert np.array_equal(a.reachable, b.reachable)
+
+
+class TestHypothesisPin:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        case=graphs_with_security(min_nodes=4, max_nodes=12),
+        scenario=st.sampled_from(SCENARIOS),
+        policy=st.sampled_from(POLICIES),
+        pair_seed=st.integers(0, 10_000),
+    )
+    def test_random_graphs_agree(self, case, scenario, policy, pair_seed):
+        graph, secure_nodes = case
+        assume(graph.n >= 2)
+        victim = pair_seed % graph.n
+        attacker = (victim + 1 + pair_seed // graph.n) % graph.n
+        assume(victim != attacker)
+        secure = np.zeros(graph.n, dtype=bool)
+        secure[list(secure_nodes)] = True
+        _assert_bit_identical(
+            graph, [(victim, attacker)], secure, secure.copy(),
+            scenario, policy,
+        )

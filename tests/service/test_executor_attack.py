@@ -1,0 +1,69 @@
+"""Executor: attack-matrix jobs run, journal, replay, and cancel."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.errors import JobCancelled
+from repro.service.executor import execute_job
+from repro.service.specs import parse_spec
+from repro.service.store import JobStore
+
+SPEC = {
+    "kind": "attack-matrix", "n": 60, "seed": 7,
+    "scenarios": ["origin_hijack", "route_leak"],
+    "policies": ["security_3rd"],
+    "strategies": ["top_isp_first"],
+    "levels": [0.0, 1.0],
+    "attack_samples": 3,
+}
+
+
+def run(store, cache, payload=SPEC):
+    job, _ = store.submit(parse_spec(payload))
+    result = execute_job(job, store, cache, threading.Event())
+    return job, result
+
+
+class TestAttackMatrixJobs:
+    def test_result_document_shape(self, tmp_path):
+        store, cache = JobStore(tmp_path), ResultCache()
+        job, result = run(store, cache)
+        assert result["kind"] == "attack-matrix"
+        grid = result["grid"]
+        assert grid["scenarios"] == ["origin_hijack", "route_leak"]
+        assert grid["levels"] == [0.0, 1.0]
+        cells = result["cells"]
+        assert len(cells) == 4
+        for cell in cells:
+            assert cell["outcome"] in ("ok", "no-convergence")
+            assert 0.0 <= cell["mean_fraction_fooled"] <= 1.0
+
+    def test_journal_written_and_resubmit_replays(self, tmp_path):
+        store, cache = JobStore(tmp_path), ResultCache()
+        job, result = run(store, cache)
+        journal = store.sweep_journal_path(job)
+        assert journal.exists()
+        before = journal.read_text()
+        # same work identity -> same digest-keyed journal; a re-execution
+        # replays every cell instead of recomputing
+        job2, result2 = run(store, cache)
+        assert result2["cells"] == result["cells"]
+        assert journal.read_text() == before
+
+    def test_progress_reaches_total(self, tmp_path):
+        store, cache = JobStore(tmp_path), ResultCache()
+        job, _ = run(store, cache)
+        refreshed = store.get(job.id)
+        assert refreshed.progress_done == refreshed.progress_total == 4
+
+    def test_cancel_checked_at_cell_boundaries(self, tmp_path):
+        store, cache = JobStore(tmp_path), ResultCache()
+        job, _ = store.submit(parse_spec(SPEC))
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(JobCancelled):
+            execute_job(job, store, cache, cancel)

@@ -111,3 +111,73 @@ class TestDigests:
         assert cell_scope_digest(base) != cell_scope_digest(
             parse_spec({"n": 80, "policy": "security_1st"})
         )
+
+
+class TestAttackMatrixSpecs:
+    def test_defaults(self):
+        spec = parse_spec({"kind": "attack-matrix"})
+        assert spec.scenarios == ()       # () = all registered
+        assert spec.strategies == ()
+        assert spec.policies == ()
+        assert spec.levels == (0.0, 0.5, 1.0)
+        assert spec.attack_samples == 12
+        assert spec.attack_seed == 0
+
+    def test_round_trips_through_dict(self):
+        spec = parse_spec({
+            "kind": "attack-matrix", "n": 80,
+            "scenarios": ["origin_hijack"], "strategies": ["stub_first"],
+            "policies": ["security_3rd"], "levels": [0.0, 1.0],
+        })
+        assert parse_spec(spec_to_dict(spec)) == spec
+
+    def test_scenario_aliases_coalesce_digests(self):
+        a = parse_spec({"kind": "attack-matrix", "scenarios": ["hijack", "leak"]})
+        b = parse_spec({
+            "kind": "attack-matrix", "scenarios": ["origin_hijack", "route_leak"]
+        })
+        assert a.scenarios == ("origin_hijack", "route_leak")
+        assert spec_digest(a) == spec_digest(b)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(SpecError, match="scenarios"):
+            parse_spec({"kind": "attack-matrix", "scenarios": ["nope"]})
+        with pytest.raises(SpecError, match="strategies"):
+            parse_spec({"kind": "attack-matrix", "strategies": ["nope"]})
+        with pytest.raises(SpecError, match="policies"):
+            parse_spec({"kind": "attack-matrix", "policies": ["nope"]})
+
+    def test_repeats_rejected(self):
+        # aliases count as repeats: they resolve to the same canonical name
+        with pytest.raises(SpecError, match="repeat"):
+            parse_spec({
+                "kind": "attack-matrix", "scenarios": ["hijack", "origin_hijack"]
+            })
+
+    def test_levels_validated(self):
+        with pytest.raises(SpecError, match=r"\[0, 1\]"):
+            parse_spec({"kind": "attack-matrix", "levels": [0.0, 1.5]})
+        with pytest.raises(SpecError, match="repeat"):
+            parse_spec({"kind": "attack-matrix", "levels": [0.5, 0.5]})
+        with pytest.raises(SpecError, match="non-empty"):
+            parse_spec({"kind": "attack-matrix", "levels": []})
+
+    def test_oversized_matrix_rejected(self):
+        # all 4 scenarios x 5 policies x 4 strategies = 80 cells per level;
+        # 52 levels puts the grid over the 4096-cell limit
+        levels = [i / 100 for i in range(52)]
+        with pytest.raises(SpecError, match="cell limit"):
+            parse_spec({"kind": "attack-matrix", "levels": levels})
+
+    def test_attack_fields_are_work_identity(self):
+        base = parse_spec({"kind": "attack-matrix"})
+        assert spec_digest(base) != spec_digest(
+            parse_spec({"kind": "attack-matrix", "attack_seed": 1})
+        )
+        assert spec_digest(base) != spec_digest(
+            parse_spec({"kind": "attack-matrix", "attack_samples": 13})
+        )
+        # scheduling metadata still excluded
+        assert spec_digest(base) == spec_digest(
+            parse_spec({"kind": "attack-matrix", "priority": 4})
+        )
