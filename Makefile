@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain pip + pytest underneath.
 
 .PHONY: install test test-resilience test-chaos test-service serve bench \
-	bench-json bench-compare bench-large examples lint lint-fix typecheck
+	bench-json bench-compare bench-large examples lint lint-fix typecheck \
+	import-graph
 
 # Compare the two newest BENCH_*.json snapshots (override with
 # BENCH_OLD=... BENCH_NEW=...); fails on >10% kernel regressions.
@@ -73,12 +74,23 @@ bench-large:
 	REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only
 
 # Static analysis: the project-invariant linter always runs (stdlib
-# only); ruff piggybacks when installed, reading its config from
+# only) — per-file rules plus the whole-program pass (import layering,
+# fork/thread safety, dead public API) — followed by the API-surface
+# ratchet; ruff piggybacks when installed, reading its config from
 # pyproject.toml so local runs and CI check exactly the same thing.
 lint:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.analysis src scripts benchmarks
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.analysis --program src scripts benchmarks
+	python scripts/api_surface.py
 	@if command -v ruff >/dev/null 2>&1; then ruff check src scripts tests benchmarks examples; \
 	else echo "ruff not installed (pip install -e '.[dev]'); skipped"; fi
+
+# Regenerate the committed package import graph (docs/import_graph.dot).
+# Renders to SVG too when graphviz is installed; CI uploads both.
+import-graph:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro.analysis \
+		--graph-out docs/import_graph.dot src scripts benchmarks
+	@if command -v dot >/dev/null 2>&1; then dot -Tsvg docs/import_graph.dot -o docs/import_graph.svg; \
+	else echo "graphviz not installed; wrote docs/import_graph.dot only"; fi
 
 lint-fix:
 	@if command -v ruff >/dev/null 2>&1; then ruff check --fix src scripts tests benchmarks examples; \

@@ -1,0 +1,54 @@
+"""Analyzer benchmark: the whole-program pass must stay interactive.
+
+``make lint`` and the blocking CI lint job run ``sbgp-lint --program``
+over the full tree on every change, so the pass has a latency budget,
+not just a correctness contract: it reads, parses, and walks every
+file once, builds the program index (import graph, call graph, symbol
+table), and runs RPR015/016/017.  The wall-clock pin is deliberately
+loose (shared CI runners) but low enough that a quadratic regression
+in the index build or reachability walk fails loudly instead of
+quietly taxing every future lint run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[1]
+LINT_ROOTS = [REPO / "src", REPO / "scripts", REPO / "benchmarks"]
+
+#: Wall-clock budget for one full --program run (seconds).  Local runs
+#: measure ~2s; 8s absorbs cold caches and noisy shared runners while
+#: still catching a complexity-class regression.
+PROGRAM_PASS_BUDGET_S = 8.0
+
+
+def _full_pass():
+    return lint_paths(LINT_ROOTS, program=True)
+
+
+def _program_only_pass():
+    return lint_paths(LINT_ROOTS, rules=[], program=True)
+
+
+def test_bench_program_pass_full(benchmark):
+    """Per-file rules + program pass, exactly what `make lint` runs."""
+    start = time.perf_counter()
+    result = _full_pass()
+    elapsed = time.perf_counter() - start
+    assert result.findings == ()
+    assert result.program is not None and result.program.modules > 50
+    assert elapsed < PROGRAM_PASS_BUDGET_S, (
+        f"program pass took {elapsed:.2f}s (budget {PROGRAM_PASS_BUDGET_S}s)"
+    )
+    benchmark(_full_pass)
+
+
+def test_bench_program_pass_only(benchmark):
+    """Program-pass marginal cost: same parse, file rules disabled."""
+    result = _program_only_pass()
+    assert result.findings == ()
+    benchmark(_program_only_pass)

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Public-API surface ratchet: drift requires an explicit ``--update``.
+
+``sbgp-lint --program`` (RPR017) already fails on public symbols nobody
+references; this script pins the *shape* of what remains.  The committed
+snapshot ``scripts/api_baseline.json`` records every public top-level
+symbol of ``repro.*`` — name, kind, signature, and public methods for
+classes — in the ``repro.api-surface/1`` JSON shape produced by
+:func:`repro.analysis.program.collect_surface`.
+
+* default: diff the live surface against the baseline and FAIL (exit 1)
+  on any drift — added, removed, or changed symbols — printing the diff;
+* ``--update``: rewrite the baseline to match the live surface (atomic
+  write); the diff lands in review where API change belongs;
+* ``--require``: CI mode — a missing baseline is a hard failure (exit
+  2) instead of a hint to generate one.
+
+Exit codes: 0 surface matches, 1 drift (or missing baseline), 2 usage /
+missing baseline under ``--require``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "scripts" / "api_baseline.json"
+
+#: format marker of the committed snapshot (mirrors
+#: repro.analysis.program.api.SURFACE_FORMAT, asserted in _bootstrap).
+SURFACE_FORMAT = "repro.api-surface/1"
+
+
+def _bootstrap() -> None:
+    """Put src/ on sys.path inside a function so importing this script
+    stays side-effect-free (RPR009)."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.analysis.program.api import SURFACE_FORMAT as canonical
+
+    if canonical != SURFACE_FORMAT:  # pragma: no cover - drift guard
+        raise RuntimeError(
+            f"surface format drift: script {SURFACE_FORMAT!r} vs package {canonical!r}"
+        )
+
+
+def live_surface() -> dict[str, dict[str, object]]:
+    _bootstrap()
+    from repro.analysis.engine import iter_python_files, module_for_path
+    from repro.analysis.program import ProgramIndex, collect_surface
+
+    parsed = []
+    for path in iter_python_files([REPO_ROOT / "src" / "repro"]):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:  # surface of an unparseable tree is meaningless
+            raise RuntimeError(f"cannot parse {path}: {exc}") from exc
+        parsed.append((str(path), module_for_path(path), tree))
+    return collect_surface(ProgramIndex.build(parsed, []))
+
+
+def load_baseline() -> dict[str, dict[str, object]]:
+    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    if payload.get("format") != SURFACE_FORMAT:
+        raise RuntimeError(
+            f"{BASELINE_PATH}: unrecognised format {payload.get('format')!r}"
+        )
+    return payload["surface"]
+
+
+def write_baseline(surface: dict[str, dict[str, object]]) -> None:
+    _bootstrap()
+    from repro.runtime.atomic import atomic_write_text
+
+    payload = {"format": SURFACE_FORMAT, "surface": surface}
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def diff_surface(
+    baseline: dict[str, dict[str, object]], live: dict[str, dict[str, object]]
+) -> list[str]:
+    """Human-readable drift lines, empty when the surfaces match."""
+    out: list[str] = []
+    for module in sorted(set(baseline) | set(live)):
+        base_syms = baseline.get(module, {})
+        live_syms = live.get(module, {})
+        for name in sorted(set(base_syms) | set(live_syms)):
+            if name not in live_syms:
+                out.append(f"removed  {module}.{name}")
+            elif name not in base_syms:
+                out.append(f"added    {module}.{name}")
+            elif base_syms[name] != live_syms[name]:
+                out.append(f"changed  {module}.{name}")
+                before, after = base_syms[name], live_syms[name]
+                for key in ("kind", "signature"):
+                    if before.get(key) != after.get(key):
+                        out.append(f"           {key}: {before.get(key)!r} -> {after.get(key)!r}")
+                b_meth = before.get("methods") or {}
+                a_meth = after.get("methods") or {}
+                for meth in sorted(set(b_meth) | set(a_meth)):
+                    if b_meth.get(meth) != a_meth.get(meth):
+                        out.append(
+                            f"           .{meth}: {b_meth.get(meth)!r} -> {a_meth.get(meth)!r}"
+                        )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite scripts/api_baseline.json to the live surface",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="CI mode: a missing baseline exits 2 instead of hinting",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        live = live_surface()
+    except RuntimeError as exc:
+        print(f"api surface: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        write_baseline(live)
+        n_symbols = sum(len(v) for v in live.values())
+        print(
+            f"api baseline updated: {BASELINE_PATH.relative_to(REPO_ROOT)} "
+            f"({len(live)} modules, {n_symbols} public symbols)"
+        )
+        return 0
+
+    if not BASELINE_PATH.is_file():
+        msg = (
+            f"{BASELINE_PATH.relative_to(REPO_ROOT)} is missing; generate it with "
+            "`python scripts/api_surface.py --update`"
+        )
+        print(f"api surface: {msg}", file=sys.stderr)
+        return 2 if args.require else 1
+
+    try:
+        baseline = load_baseline()
+    except (RuntimeError, ValueError, KeyError) as exc:
+        print(f"api surface: {exc}", file=sys.stderr)
+        return 2
+
+    drift = diff_surface(baseline, live)
+    if drift:
+        print("public API surface drifted from scripts/api_baseline.json:")
+        for line in drift:
+            print(f"  {line}")
+        print(
+            "if the change is intentional, lock it in with "
+            "`python scripts/api_surface.py --update` and commit the diff."
+        )
+        return 1
+    n_symbols = sum(len(v) for v in live.values())
+    print(f"api surface OK ({len(live)} modules, {n_symbols} public symbols)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,11 @@ import argparse
 import json
 import sys
 from collections import Counter
+from pathlib import Path
 
 from repro.analysis.engine import LintResult, lint_paths
 from repro.analysis.findings import JSON_FORMAT
+from repro.analysis.program import PROGRAM_RULES, program_codes
 from repro.analysis.rules import ALL_RULES, get_rules
 
 
@@ -41,6 +43,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--program",
+        action="store_true",
+        help=(
+            "also run the whole-program pass: RPR015 layering contract, "
+            "RPR016 fork/thread safety, RPR017 dead public API"
+        ),
+    )
+    parser.add_argument(
+        "--graph-out",
+        metavar="DOT",
+        help="write the package import graph as Graphviz DOT (implies --program)",
+    )
+    parser.add_argument(
+        "--uses",
+        metavar="PATH",
+        action="append",
+        help=(
+            "extra root whose references count as API use for RPR017 but "
+            "which is not itself linted (repeatable; a linted src/ root "
+            "auto-adds sibling tests/ and examples/)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue (code, name, rationale) and exit",
@@ -58,6 +83,9 @@ def _print_rule_catalogue(out: list[str]) -> None:
     for rule in ALL_RULES:
         out.append(f"{rule.code} {rule.name}")
         out.append(f"    {rule.rationale}")
+    for prog_rule in PROGRAM_RULES:
+        out.append(f"{prog_rule.code} {prog_rule.name} (--program)")
+        out.append(f"    {prog_rule.rationale}")
 
 
 def render_text(result: LintResult) -> str:
@@ -72,16 +100,26 @@ def render_text(result: LintResult) -> str:
         )
     else:
         lines.append(f"clean: 0 findings ({result.files_checked} files checked)")
+    if result.program is not None:
+        p = result.program
+        lines.append(
+            f"program: {p.modules} modules / {p.packages} packages, "
+            f"{p.edges_eager} eager + {p.edges_lazy} lazy + {p.edges_typing} typing "
+            f"import edges, {p.reachable_functions} functions reachable from "
+            f"{p.entrypoints} fork/thread entry points, {p.public_symbols} public symbols"
+        )
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
-    payload = {
+    payload: dict[str, object] = {
         "format": JSON_FORMAT,
         "files_checked": result.files_checked,
         "findings": [f.to_json() for f in result.findings],
         "counts": dict(sorted(Counter(f.code for f in result.findings).items())),
     }
+    if result.program is not None:
+        payload["program"] = result.program.to_json()
     return json.dumps(payload, indent=1)
 
 
@@ -97,12 +135,35 @@ def main(argv: list[str] | None = None) -> int:
     if not args.paths:
         parser.error("no paths given (or use --list-rules)")
 
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    prog_codes = program_codes()
+
+    # Selecting a program code implies --program, as does --graph-out.
+    run_program = bool(args.program or args.graph_out or (select and select & prog_codes))
+    program_select: frozenset[str] | None = None
+    if run_program:
+        program_select = prog_codes if select is None else (select & prog_codes)
+        if ignore:
+            program_select -= ignore
+
     try:
-        rules = get_rules(select=_parse_codes(args.select), ignore=_parse_codes(args.ignore))
+        file_select = None if select is None else (select - prog_codes)
+        if file_select is not None and not file_select:
+            rules = []  # only program codes selected: no per-file rules
+        else:
+            rules = get_rules(select=file_select, ignore=ignore)
     except ValueError as exc:
         parser.error(str(exc))
     try:
-        result = lint_paths(args.paths, rules=rules)
+        result = lint_paths(
+            args.paths,
+            rules=rules,
+            program=run_program,
+            program_select=program_select,
+            reference_roots=None if args.uses is None else [Path(p) for p in args.uses],
+            graph_out=args.graph_out,
+        )
     except FileNotFoundError as exc:
         print(f"sbgp-lint: error: {exc}", file=sys.stderr)
         return 2

@@ -3,7 +3,9 @@
 A :class:`Finding` is one violation at one source location.  Findings
 sort by (path, line, col, code) so output is deterministic regardless
 of rule registration order, and serialise to a stable JSON shape
-(``repro.lint/1``) that the golden tests pin.
+(``repro.lint/2``) that the golden tests pin.  Format history:
+``repro.lint/1`` had no ``program`` key; ``/2`` adds the optional
+whole-program summary emitted under ``--program``.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ PARSE_ERROR = "RPR000"
 UNUSED_SUPPRESSION = "RPR010"
 
 #: JSON output format marker (bump on breaking schema changes).
-JSON_FORMAT = "repro.lint/1"
+JSON_FORMAT = "repro.lint/2"
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -34,7 +36,7 @@ class Finding:
     rule: str
 
     def to_json(self) -> dict[str, object]:
-        """Stable JSON shape; keys are part of the ``repro.lint/1`` schema."""
+        """Stable JSON shape; keys are part of the ``repro.lint/2`` schema."""
         return {
             "path": self.path,
             "line": self.line,

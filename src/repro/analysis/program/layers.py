@@ -1,0 +1,316 @@
+"""Import-graph layering contract (RPR015) and DOT rendering.
+
+The architecture is declared once, in ``pyproject.toml``::
+
+    [tool.repro.layers]
+    "1" = ["repro.runtime", "repro.telemetry"]
+    "2" = ["repro.topology"]
+    ...
+
+Layer *k* may import layers 1..k (same or lower).  The contract applies
+to **eager** imports only: function-scope (lazy) and ``TYPE_CHECKING``
+imports are the project's sanctioned cycle-breaking idiom and are
+exempt — they are still resolved, drawn dashed/dotted in the DOT
+export, and counted in the summary, so an erosion of the eager DAG into
+"everything is lazy" stays visible.
+
+Two findings:
+
+* **upward import** — an eager import from a module in layer *i* into a
+  package in layer *j > i*;
+* **import cycle** — a strongly-connected component of ≥ 2 modules in
+  the eager module graph (today's graph is a DAG; every new cycle is a
+  latent import-order bug even when Python's partial-module tolerance
+  happens to mask it).
+
+Modules whose package has no manifest entry are findings too: the
+manifest must stay total as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.program.index import EAGER, LAZY, TYPING, ImportEdge, ProgramIndex
+
+_SECTION = "[tool.repro.layers]"
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerManifest:
+    """Ordered layers of package prefixes (layer 1 is the foundation)."""
+
+    layers: tuple[tuple[str, ...], ...]
+    source: str  # where the manifest was found (diagnostics)
+
+    def layer_of(self, module: str) -> int | None:
+        """1-based layer of ``module`` via longest-prefix match, else None."""
+        best: tuple[int, int] | None = None  # (prefix length, layer index)
+        for idx, packages in enumerate(self.layers, start=1):
+            for prefix in packages:
+                if module == prefix or module.startswith(prefix + "."):
+                    if best is None or len(prefix) > best[0]:
+                        best = (len(prefix), idx)
+        return best[1] if best else None
+
+    def package_of(self, module: str) -> str | None:
+        """The manifest prefix ``module`` falls under, if any."""
+        best: str | None = None
+        for packages in self.layers:
+            for prefix in packages:
+                if module == prefix or module.startswith(prefix + "."):
+                    if best is None or len(prefix) > len(best):
+                        best = prefix
+        return best
+
+
+def _parse_layers_fallback(text: str) -> list[tuple[str, ...]] | None:
+    """Minimal ``[tool.repro.layers]`` reader for pythons without tomllib.
+
+    Handles exactly the shape this project commits: quoted numeric keys
+    mapping to (possibly multi-line) string arrays.
+    """
+    start = text.find(_SECTION)
+    if start < 0:
+        return None
+    body = text[start + len(_SECTION):]
+    stop = re.search(r"^\[", body, flags=re.MULTILINE)
+    if stop:
+        body = body[: stop.start()]
+    entries: dict[int, tuple[str, ...]] = {}
+    for match in re.finditer(r'^"?(\d+)"?\s*=\s*(\[.*?\])', body, flags=re.MULTILINE | re.DOTALL):
+        try:
+            value = ast.literal_eval(match.group(2))
+        except (ValueError, SyntaxError):
+            return None
+        entries[int(match.group(1))] = tuple(str(v) for v in value)
+    if not entries:
+        return None
+    return [entries[k] for k in sorted(entries)]
+
+
+def load_manifest(pyproject: Path) -> LayerManifest | None:
+    """Read ``[tool.repro.layers]`` from one pyproject.toml, if present."""
+    text = pyproject.read_text(encoding="utf-8")
+    if _SECTION not in text:
+        return None
+    layers: list[tuple[str, ...]] | None
+    try:
+        import tomllib
+
+        table = tomllib.loads(text).get("tool", {}).get("repro", {}).get("layers", {})
+        layers = [tuple(table[k]) for k in sorted(table, key=int)] or None
+    except ModuleNotFoundError:  # py3.10: narrow hand-rolled fallback
+        layers = _parse_layers_fallback(text)
+    if not layers:
+        return None
+    return LayerManifest(layers=tuple(layers), source=str(pyproject))
+
+
+def find_manifest(paths: Iterable[str | Path]) -> LayerManifest | None:
+    """Walk up from the linted paths to the nearest manifest-bearing pyproject."""
+    for raw in paths:
+        probe = Path(raw).resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for candidate in (probe, *probe.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                manifest = load_manifest(pyproject)
+                if manifest is not None:
+                    return manifest
+    return None
+
+
+# -- cycle detection ---------------------------------------------------
+
+
+def strongly_connected(edges: Mapping[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative) over an adjacency mapping; size ≥ 2 only."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in edges and succ not in index:
+                    continue
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+    return sccs
+
+
+# -- the check ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class LayeringViolation:
+    """One RPR015 site (anchored at the offending import statement)."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def check_layers(index: ProgramIndex, manifest: LayerManifest) -> list[LayeringViolation]:
+    out: list[LayeringViolation] = []
+
+    # 1. manifest totality: every linted project module must map to a layer
+    for module, fi in sorted(index.modules.items()):
+        if manifest.layer_of(module) is None:
+            out.append(
+                LayeringViolation(
+                    path=fi.path,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"module {module} belongs to no declared layer; add its "
+                        f"package to [tool.repro.layers] in {manifest.source}"
+                    ),
+                )
+            )
+
+    # 2. upward eager imports
+    for edge in index.eager_edges():
+        src_layer = manifest.layer_of(edge.src)
+        dst_layer = manifest.layer_of(edge.dst)
+        if src_layer is None or dst_layer is None:
+            continue  # reported by the totality check above
+        if dst_layer > src_layer:
+            out.append(
+                LayeringViolation(
+                    path=edge.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"upward import: {edge.src} (layer {src_layer}, "
+                        f"{manifest.package_of(edge.src)}) eagerly imports {edge.dst} "
+                        f"(layer {dst_layer}, {manifest.package_of(edge.dst)}); make it "
+                        "lazy/TYPE_CHECKING or move the shared code down"
+                    ),
+                )
+            )
+
+    # 3. eager module cycles
+    adjacency: dict[str, set[str]] = {m: set() for m in index.modules}
+    for edge in index.eager_edges():
+        adjacency.setdefault(edge.src, set()).add(edge.dst)
+    for component in strongly_connected(adjacency):
+        members = set(component)
+        cycle_text = " -> ".join(component + [component[0]])
+        for edge in index.eager_edges():
+            if edge.src in members and edge.dst in members:
+                out.append(
+                    LayeringViolation(
+                        path=edge.path,
+                        line=edge.line,
+                        col=edge.col,
+                        message=(
+                            f"eager import cycle [{cycle_text}]; break the cycle with a "
+                            "lazy/TYPE_CHECKING import or an extracted shared module"
+                        ),
+                    )
+                )
+    return out
+
+
+# -- DOT rendering -----------------------------------------------------
+
+_KIND_STYLE = {EAGER: "solid", LAZY: "dashed", TYPING: "dotted"}
+
+
+def render_dot(index: ProgramIndex, manifest: LayerManifest | None) -> str:
+    """Package-level import graph, clustered by layer, edge style by kind.
+
+    Edges aggregate the module-level edges between two packages; the
+    label carries the count.  Lazy and typing edges are drawn dashed and
+    dotted so the eager skeleton — the thing the layering contract
+    constrains — stands out.
+    """
+
+    def package(module: str) -> str:
+        if manifest is not None:
+            pkg = manifest.package_of(module)
+            if pkg is not None:
+                return pkg
+        parts = module.split(".")
+        return ".".join(parts[:2]) if len(parts) > 1 else module
+
+    agg: dict[tuple[str, str, str], int] = {}
+    packages: set[str] = set()
+    for module in index.modules:
+        packages.add(package(module))
+    for edge in index.edges:
+        src, dst = package(edge.src), package(edge.dst)
+        if src == dst:
+            continue
+        agg[(src, dst, edge.kind)] = agg.get((src, dst, edge.kind), 0) + 1
+
+    lines = [
+        "digraph repro_imports {",
+        "  rankdir=BT;",
+        '  node [shape=box, style="rounded,filled", fillcolor="#eef3f8", fontname="Helvetica"];',
+        '  edge [fontname="Helvetica", fontsize=10];',
+    ]
+    if manifest is not None:
+        for idx, layer in enumerate(manifest.layers, start=1):
+            present = [p for p in layer if p in packages]
+            if not present:
+                continue
+            lines.append(f"  subgraph cluster_layer{idx} {{")
+            lines.append(f'    label="layer {idx}"; color="#b8c4d0"; fontname="Helvetica";')
+            for pkg in present:
+                lines.append(f'    "{pkg}";')
+            lines.append("  }")
+    else:
+        for pkg in sorted(packages):
+            lines.append(f'  "{pkg}";')
+    for (src, dst, kind), count in sorted(agg.items()):
+        style = _KIND_STYLE[kind]
+        label = f' label="{count}"' if count > 1 else ""
+        extra = ' color="#8899aa"' if kind != EAGER else ""
+        lines.append(f'  "{src}" -> "{dst}" [style={style}{extra}{label}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -38,7 +38,7 @@ from repro.experiments import (
 )
 from repro.routing import backends as kernel_backends
 from repro.routing.backends import available_backends
-from repro.routing.policy import available_policies
+from repro.routing.policy import available_policies, policy_table
 from repro.routing.tiebreak import (
     collect_tiebreak_stats,
     security_sensitive_decision_fraction,
@@ -199,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "(atomic)")
     vg.add_argument("--report-out", default=None, metavar="PATH",
                     help="write the full quarantine report to PATH as JSON")
+    sub.add_parser(
+        "list-policies",
+        help="print the routing-policy catalogue (name, ranking, description)",
+    )
     return parser
 
 
@@ -214,6 +218,10 @@ def _build_guard(args: argparse.Namespace) -> RuntimeGuard:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "list-policies":
+        for name, ranking, description in policy_table():
+            print(f"{name:18s} {ranking:20s} {description}")
+        return 0
     if args.command == "validate-graph":
         # pure input validation: no topology generation, no telemetry
         return _cmd_validate_graph(args)

@@ -44,6 +44,7 @@ import importlib
 import importlib.util
 import os
 import shutil
+import threading
 import time
 from typing import Any
 
@@ -108,6 +109,8 @@ class KernelBackend:
 _REGISTRY: dict[str, KernelBackend] = {}
 _IMPLS: dict[str, Any] = {}
 _FAILURES: dict[str, str] = {}
+#: Serialises the import/compile slow path of :func:`load_backend`.
+_LOAD_LOCK = threading.Lock()
 
 
 def register_backend(backend: KernelBackend) -> KernelBackend:
@@ -199,30 +202,37 @@ def load_backend(name: str) -> Any:
     impl = _IMPLS.get(name)
     if impl is not None:
         return impl
-    if name in _FAILURES:
-        raise BackendUnavailable(
-            f"kernel backend {name!r} unavailable: {_FAILURES[name]}"
-        )
-    backend = get_backend(name)
-    registry = get_registry()
-    started = time.perf_counter()
-    try:
-        with get_tracer().span(f"backend.load.{name}"):
-            impl = importlib.import_module(backend.module)
-    except (ImportError, OSError, RuntimeError) as exc:
-        _FAILURES[name] = str(exc) or type(exc).__name__
-        registry.counter(f"routing.backend.load_failures.{name}").inc()
-        raise BackendUnavailable(
-            f"kernel backend {name!r} unavailable: {exc}"
-        ) from exc
-    if backend.compiled:
-        # JIT/cc time for the whole tier (cache hits land near zero, so
-        # the histogram doubles as a compile-cache effectiveness probe).
-        registry.histogram("routing.backend.compile_seconds").observe(
-            time.perf_counter() - started
-        )
-    _IMPLS[name] = impl
-    return impl
+    # Double-checked: the fast path above is lock-free; the slow path is
+    # serialised so concurrent scheduler threads cannot race a compile
+    # and double-import the same tier.
+    with _LOAD_LOCK:
+        impl = _IMPLS.get(name)
+        if impl is not None:
+            return impl
+        if name in _FAILURES:
+            raise BackendUnavailable(
+                f"kernel backend {name!r} unavailable: {_FAILURES[name]}"
+            )
+        backend = get_backend(name)
+        registry = get_registry()
+        started = time.perf_counter()
+        try:
+            with get_tracer().span(f"backend.load.{name}"):
+                impl = importlib.import_module(backend.module)
+        except (ImportError, OSError, RuntimeError) as exc:
+            _FAILURES[name] = str(exc) or type(exc).__name__
+            registry.counter(f"routing.backend.load_failures.{name}").inc()
+            raise BackendUnavailable(
+                f"kernel backend {name!r} unavailable: {exc}"
+            ) from exc
+        if backend.compiled:
+            # JIT/cc time for the whole tier (cache hits land near zero, so
+            # the histogram doubles as a compile-cache effectiveness probe).
+            registry.histogram("routing.backend.compile_seconds").observe(
+                time.perf_counter() - started
+            )
+        _IMPLS[name] = impl
+        return impl
 
 
 def _note_active(name: str) -> None:

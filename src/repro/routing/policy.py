@@ -504,7 +504,7 @@ def policy_table() -> list[tuple[str, str, str]]:
 
 _LP, _SP, _SECP = Criterion.LP, Criterion.SP, Criterion.SECP
 
-SECURITY_3RD = register_policy(
+register_policy(
     RoutingPolicy(
         name="security_3rd",
         ranking=(_LP, _SP, _SECP),
@@ -513,7 +513,7 @@ SECURITY_3RD = register_policy(
     aliases=("default", "gao-rexford"),
 )
 
-SECURITY_2ND = register_policy(
+register_policy(
     RoutingPolicy(
         name="security_2nd",
         ranking=(_LP, _SECP, _SP),
@@ -521,7 +521,7 @@ SECURITY_2ND = register_policy(
     ),
 )
 
-SECURITY_1ST = register_policy(
+register_policy(
     RoutingPolicy(
         name="security_1st",
         ranking=(_SECP, _LP, _SP),
@@ -529,7 +529,7 @@ SECURITY_1ST = register_policy(
     ),
 )
 
-SP_FIRST = register_policy(
+register_policy(
     RoutingPolicy(
         name="sp_first",
         ranking=(_SP, _LP, _SECP),
@@ -538,7 +538,7 @@ SP_FIRST = register_policy(
     aliases=("sp-first",),
 )
 
-STICKY_PRIMARIES = register_policy(
+register_policy(
     RoutingPolicy(
         name="sticky_primaries",
         ranking=(_LP, _SP, _SECP),

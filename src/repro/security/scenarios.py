@@ -182,7 +182,7 @@ ORIGIN_HIJACK = register_scenario(
     aliases=("hijack", "prefix_hijack"),
 )
 
-SUBPREFIX_HIJACK = register_scenario(
+register_scenario(
     AttackScenario(
         name="subprefix_hijack",
         description="more-specific announcement; ROV validators drop it",
@@ -193,7 +193,7 @@ SUBPREFIX_HIJACK = register_scenario(
     aliases=("subprefix",),
 )
 
-ROUTE_LEAK = register_scenario(
+register_scenario(
     AttackScenario(
         name="route_leak",
         description="honestly selected route re-exported against GR2",
@@ -204,7 +204,7 @@ ROUTE_LEAK = register_scenario(
     aliases=("leak",),
 )
 
-FORGED_ORIGIN = register_scenario(
+register_scenario(
     AttackScenario(
         name="forged_origin",
         description="path-shortening forgery: origin checks pass, one hop longer",
@@ -377,7 +377,7 @@ def _market_rounds(graph, levels, *, seed, theta, cache, adopters, max_rounds, *
     return out
 
 
-TOP_ISP_FIRST = register_strategy(
+register_strategy(
     DeploymentStrategy(
         name="top_isp_first",
         description="ISPs deploy in descending degree order (Tier-1s first)",
@@ -386,7 +386,7 @@ TOP_ISP_FIRST = register_strategy(
     )
 )
 
-RANDOM_ORDER = register_strategy(
+register_strategy(
     DeploymentStrategy(
         name="random",
         description="ISPs deploy in a seeded uniform random order",
@@ -395,7 +395,7 @@ RANDOM_ORDER = register_strategy(
     )
 )
 
-STUB_FIRST = register_strategy(
+register_strategy(
     DeploymentStrategy(
         name="stub_first",
         description="stubs deploy first, then ISPs by ascending degree",
@@ -404,7 +404,7 @@ STUB_FIRST = register_strategy(
     )
 )
 
-MARKET_ROUNDS = register_strategy(
+register_strategy(
     DeploymentStrategy(
         name="market_rounds",
         description="states replayed from the market dynamics' round snapshots",

@@ -271,7 +271,7 @@ def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
     """Install ``registry`` (None restores the no-op); returns the previous."""
     global _active
     previous = _active
-    _active = registry if registry is not None else NULL_REGISTRY
+    _active = registry if registry is not None else NULL_REGISTRY  # repro-lint: disable=RPR016 -- single reference swap, atomic under the GIL; installed at process/worker startup before kernels run
     return previous
 
 

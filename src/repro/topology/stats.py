@@ -66,11 +66,6 @@ def top_by_degree(graph: ASGraph, k: int, role: ASRole | None = ASRole.ISP) -> l
     return [graph.asn(i) for i in ranked[:k]]
 
 
-def customer_degree(graph: ASGraph, asn: int) -> int:
-    """Number of customers of ``asn``."""
-    return len(graph.customers[graph.index(asn)])
-
-
 def stub_customer_counts(graph: ASGraph) -> dict[int, int]:
     """Per-ISP count of *stub* customers.
 

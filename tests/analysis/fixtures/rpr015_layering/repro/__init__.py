@@ -1,0 +1,1 @@
+# unmapped package: manifest-totality violation anchors here -- expect: RPR015

@@ -1,0 +1,3 @@
+"""Layer-1 foundation package (clean)."""
+
+FOUNDATION = 1

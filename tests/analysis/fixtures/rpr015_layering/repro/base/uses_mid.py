@@ -1,0 +1,18 @@
+"""Layer-1 module reaching upward into layer 2."""
+
+from typing import TYPE_CHECKING
+
+from repro.mid import helper  # expect: RPR015
+
+if TYPE_CHECKING:
+    from repro.mid import TypeOnly  # typing-only: sanctioned, exempt
+
+
+def eager_use() -> int:
+    return helper()
+
+
+def late_use() -> int:
+    from repro.mid import late_helper  # lazy: sanctioned cycle-breaker, exempt
+
+    return late_helper()

@@ -1,0 +1,14 @@
+"""Layer-2 package: importing layer 1 downward is fine."""
+
+from repro.base import FOUNDATION
+
+
+def helper() -> int:
+    return FOUNDATION
+
+
+def late_helper() -> int:
+    return FOUNDATION + 1
+
+
+TypeOnly = int

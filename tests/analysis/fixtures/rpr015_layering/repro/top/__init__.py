@@ -1,0 +1,1 @@
+"""Layer-3 package whose submodules form an eager cycle."""

@@ -1,0 +1,8 @@
+"""One half of an eager two-module cycle (same layer, so no upward
+finding -- the cycle check is what fires)."""
+
+import repro.top.beta  # expect: RPR015
+
+
+def ping() -> int:
+    return repro.top.beta.pong()

@@ -1,0 +1,7 @@
+"""The other half of the eager cycle."""
+
+import repro.top.alpha  # expect: RPR015
+
+
+def pong() -> int:
+    return repro.top.alpha.ping()

@@ -1,0 +1,21 @@
+"""Dispatches the workers: `.map` first-arg and `Thread(target=...)`."""
+
+import threading
+
+from repro.fixture016.worker import record
+
+
+class MiniEngine:
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+def run_pool() -> None:
+    engine = MiniEngine()
+    engine.map(record, ["a", "b"])
+
+
+def run_thread() -> threading.Thread:
+    thread = threading.Thread(target=record, args=("t",))
+    thread.start()
+    return thread

@@ -1,0 +1,10 @@
+"""Package __init__ whose bare re-export must NOT rescue a symbol."""
+
+from repro.fixture017.core import dead_export, used_helper
+
+__all__ = ["dead_export", "used_helper"]
+
+
+def package_entry() -> int:  # expect: RPR017 -- __init__ definitions are checked too
+    # used_helper is *called* here, not just re-imported: that rescues it
+    return used_helper()

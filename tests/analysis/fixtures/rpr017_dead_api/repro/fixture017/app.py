@@ -1,0 +1,7 @@
+"""Consumer module: a plain import IS a use outside __init__ files."""
+
+from repro.fixture017.core import USED_CONST
+
+
+def run() -> int:  # expect: RPR017 -- public but nothing references it
+    return USED_CONST

@@ -41,11 +41,17 @@ def fixture_module(text: str) -> str | None:
 
 
 def test_fixture_suite_is_complete():
-    """One golden fixture per rule code (plus the RPR010 meta-rule)."""
+    """One golden fixture per rule code (plus the RPR010 meta-rule).
+
+    Program rules (RPR015+) are covered by fixture *packages* —
+    directories named after their code, driven by test_program.py.
+    """
     covered = {f.name[:6].upper() for f in FIXTURES}
+    covered |= {d.name[:6].upper() for d in FIXTURE_DIR.iterdir() if d.is_dir()}
     expected = (
         {f"RPR00{i}" for i in range(1, 10)}
         | {"RPR010", "RPR011", "RPR012", "RPR013", "RPR014"}
+        | {"RPR015", "RPR016", "RPR017"}
     )
     assert covered >= expected
 

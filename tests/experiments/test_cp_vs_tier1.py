@@ -1,0 +1,14 @@
+"""Fig. 12b: the CP-vs-Tier1 comparison across graph variants."""
+
+from __future__ import annotations
+
+from repro.experiments.cp_vs_tier1 import run_graph_comparison
+
+
+def test_graph_comparison_covers_both_graphs():
+    out = run_graph_comparison(n=60, seed=7, thetas=(0.0,), workers=1)
+    assert set(out) == {False, True}
+    for augmented, cells in out.items():
+        assert cells, "comparison produced no cells"
+        assert all(c.augmented is augmented for c in cells)
+        assert all(0.0 <= c.fraction_secure_ases <= 1.0 for c in cells)

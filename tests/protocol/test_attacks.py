@@ -9,9 +9,12 @@ from repro.protocol.attacks import (
     evaluate_attack,
     forge_origin_hijack,
     forge_path_announcement,
+    forge_signed_false_path,
+    sign_attacker_hop,
 )
 from repro.protocol.router import SecurityLevel
 from repro.protocol.rpki import Prefix
+from repro.protocol.sbgp import validate_path, validated_signers
 
 PFX = Prefix("198.18.0.0", 15)
 
@@ -29,6 +32,36 @@ class TestForgeries:
     def test_fake_path_shape(self):
         ann = forge_path_announcement(666, (666, 42), PFX)
         assert ann.origin == 42
+
+
+class TestSignedForgeries:
+    """A lone genuine signature on a false path: verifies for the
+    attacker's hop, never for the spoofed ones (Appendix B's lever)."""
+
+    def test_signed_false_path_attacker_hop_only(self):
+        gadget = build_attack_network()
+        net = gadget.build_protocol_network(p_prefers_partial=False)
+        ann = forge_signed_false_path(
+            net, gadget.m, (gadget.m, gadget.v), gadget.prefix
+        )
+        assert ann.attestations == ()  # nothing signed yet
+
+        signed = sign_attacker_hop(net, gadget.m, ann, receiver=gadget.p)
+        assert len(signed.attestations) == 1
+        assert validated_signers(net.rpki, signed, gadget.p) == {gadget.m}
+        # the chain stays broken at the spoofed hop: never fully secure
+        assert not validate_path(net.rpki, signed, gadget.p)
+
+    def test_signature_is_receiver_specific(self):
+        gadget = build_attack_network()
+        net = gadget.build_protocol_network(p_prefers_partial=False)
+        ann = forge_signed_false_path(
+            net, gadget.m, (gadget.m, gadget.v), gadget.prefix
+        )
+        signed = sign_attacker_hop(net, gadget.m, ann, receiver=gadget.p)
+        # addressed to p: verifying from r must reject even the
+        # attacker's own genuine hop
+        assert validated_signers(net.rpki, signed, gadget.r) == set()
 
 
 class TestAppendixB:
